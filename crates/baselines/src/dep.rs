@@ -1,0 +1,165 @@
+//! Cross-processor dependence detection over the interleaved access
+//! stream.
+
+use delorean_sim::AccessRecord;
+use std::collections::HashMap;
+
+/// Kind of a shared-memory dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read-after-write.
+    Raw,
+    /// Write-after-read.
+    War,
+    /// Write-after-write.
+    Waw,
+}
+
+/// One cross-processor dependence between dynamic instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dependence {
+    /// Source (earlier) processor.
+    pub src_proc: u32,
+    /// Source retired-instruction count.
+    pub src_icount: u64,
+    /// Destination (later) processor.
+    pub dst_proc: u32,
+    /// Destination retired-instruction count.
+    pub dst_icount: u64,
+    /// Dependence kind.
+    pub kind: DepKind,
+}
+
+#[derive(Debug, Default, Clone)]
+struct LineState {
+    last_writer: Option<(u32, u64)>,
+    readers_since_write: Vec<(u32, u64)>,
+}
+
+/// Tracks per-line access history and emits every cross-processor
+/// dependence, in global (SC interleaving) order.
+///
+/// # Examples
+///
+/// ```
+/// use delorean_baselines::DependenceTracker;
+/// use delorean_sim::AccessRecord;
+/// let mut t = DependenceTracker::new();
+/// t.observe(&AccessRecord { proc: 0, icount: 1, line: 9, write: true });
+/// let deps = t.observe(&AccessRecord { proc: 1, icount: 1, line: 9, write: false });
+/// assert_eq!(deps.len(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DependenceTracker {
+    lines: HashMap<u64, LineState>,
+}
+
+impl DependenceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one access; returns the cross-processor dependences it
+    /// closes (source strictly earlier in the interleaving).
+    pub fn observe(&mut self, rec: &AccessRecord) -> Vec<Dependence> {
+        let state = self.lines.entry(rec.line).or_default();
+        let mut deps = Vec::new();
+        if rec.write {
+            if let Some((wp, wi)) = state.last_writer {
+                if wp != rec.proc {
+                    deps.push(Dependence {
+                        src_proc: wp,
+                        src_icount: wi,
+                        dst_proc: rec.proc,
+                        dst_icount: rec.icount,
+                        kind: DepKind::Waw,
+                    });
+                }
+            }
+            for &(rp, ri) in &state.readers_since_write {
+                if rp != rec.proc {
+                    deps.push(Dependence {
+                        src_proc: rp,
+                        src_icount: ri,
+                        dst_proc: rec.proc,
+                        dst_icount: rec.icount,
+                        kind: DepKind::War,
+                    });
+                }
+            }
+            state.last_writer = Some((rec.proc, rec.icount));
+            state.readers_since_write.clear();
+        } else {
+            if let Some((wp, wi)) = state.last_writer {
+                if wp != rec.proc {
+                    deps.push(Dependence {
+                        src_proc: wp,
+                        src_icount: wi,
+                        dst_proc: rec.proc,
+                        dst_icount: rec.icount,
+                        kind: DepKind::Raw,
+                    });
+                }
+            }
+            state.readers_since_write.push((rec.proc, rec.icount));
+        }
+        deps
+    }
+
+    /// Lines seen so far.
+    pub fn lines_tracked(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(proc: u32, icount: u64, line: u64, write: bool) -> AccessRecord {
+        AccessRecord { proc, icount, line, write }
+    }
+
+    #[test]
+    fn raw_war_waw_detection() {
+        let mut t = DependenceTracker::new();
+        assert!(t.observe(&acc(0, 1, 5, true)).is_empty());
+        let raw = t.observe(&acc(1, 3, 5, false));
+        assert_eq!(raw[0].kind, DepKind::Raw);
+        assert_eq!((raw[0].src_proc, raw[0].src_icount), (0, 1));
+        let deps = t.observe(&acc(2, 7, 5, true));
+        // WAW from proc 0's write and WAR from proc 1's read.
+        let kinds: Vec<DepKind> = deps.iter().map(|d| d.kind).collect();
+        assert!(kinds.contains(&DepKind::Waw));
+        assert!(kinds.contains(&DepKind::War));
+    }
+
+    #[test]
+    fn same_processor_accesses_are_program_order() {
+        let mut t = DependenceTracker::new();
+        t.observe(&acc(0, 1, 5, true));
+        assert!(t.observe(&acc(0, 2, 5, false)).is_empty());
+        assert!(t.observe(&acc(0, 3, 5, true)).is_empty());
+    }
+
+    #[test]
+    fn writes_clear_reader_sets() {
+        let mut t = DependenceTracker::new();
+        t.observe(&acc(0, 1, 5, false));
+        t.observe(&acc(1, 1, 5, true)); // WAR from proc 0
+        let deps = t.observe(&acc(2, 1, 5, true));
+        // Only WAW from proc 1; proc 0's read was cleared.
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].kind, DepKind::Waw);
+        assert_eq!(deps[0].src_proc, 1);
+    }
+
+    #[test]
+    fn distinct_lines_do_not_interact() {
+        let mut t = DependenceTracker::new();
+        t.observe(&acc(0, 1, 5, true));
+        assert!(t.observe(&acc(1, 1, 6, false)).is_empty());
+        assert_eq!(t.lines_tracked(), 2);
+    }
+}

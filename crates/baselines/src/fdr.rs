@@ -1,0 +1,404 @@
+//! The Flight Data Recorder (FDR) baseline.
+//!
+//! FDR observes coherence traffic and logs cross-processor dependences
+//! in a Memory Races Log, suppressing those transitively implied by
+//! previously logged ones (Netzer's Transitive Reduction — Figure 1(a)
+//! of the DeLorean paper). The hardware keeps, per processor, a vector
+//! of instruction counts bounding what the processor's execution
+//! already transitively depends on; we implement the same *conservative*
+//! reduction (no vector join through third processors), which never
+//! suppresses a needed dependence and may log slightly more than the
+//! optimal reduction.
+
+use crate::dep::{Dependence, DependenceTracker};
+use delorean_compress::{BitWriter, LogSize};
+use delorean_sim::{AccessRecord, AccessSink};
+
+/// One Memory-Races-Log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoggedDep {
+    /// Source processor.
+    pub src_proc: u32,
+    /// Source instruction count.
+    pub src_icount: u64,
+    /// Destination processor.
+    pub dst_proc: u32,
+    /// Destination instruction count.
+    pub dst_icount: u64,
+}
+
+impl From<Dependence> for LoggedDep {
+    fn from(d: Dependence) -> Self {
+        LoggedDep {
+            src_proc: d.src_proc,
+            src_icount: d.src_icount,
+            dst_proc: d.dst_proc,
+            dst_icount: d.dst_icount,
+        }
+    }
+}
+
+/// The finished Memory Races Log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdrLog {
+    n_procs: u32,
+    entries: Vec<LoggedDep>,
+    total_deps: u64,
+}
+
+impl FdrLog {
+    /// Processor count the log was recorded on.
+    pub fn n_procs(&self) -> u32 {
+        self.n_procs
+    }
+
+    /// Logged entries, in global order.
+    pub fn entries(&self) -> &[LoggedDep] {
+        &self.entries
+    }
+
+    /// Number of logged entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cross-processor dependences observed before reduction.
+    pub fn total_dependences(&self) -> u64 {
+        self.total_deps
+    }
+
+    /// Encodes and measures the log: per entry, source and destination
+    /// processor IDs plus varint-delta instruction counts (per-stream
+    /// deltas), then LZ77.
+    pub fn measure(&self) -> LogSize {
+        let mut w = BitWriter::new();
+        let proc_bits = 32 - (self.n_procs - 1).leading_zeros().max(1);
+        let mut last_src = vec![0u64; self.n_procs as usize];
+        let mut last_dst = vec![0u64; self.n_procs as usize];
+        for e in &self.entries {
+            w.write_bits(u64::from(e.src_proc), proc_bits);
+            w.write_bits(u64::from(e.dst_proc), proc_bits);
+            let ds = e.src_icount.abs_diff(last_src[e.src_proc as usize]);
+            let dd = e.dst_icount.abs_diff(last_dst[e.dst_proc as usize]);
+            last_src[e.src_proc as usize] = e.src_icount;
+            last_dst[e.dst_proc as usize] = e.dst_icount;
+            w.write_varint(ds, 8);
+            w.write_varint(dd, 8);
+        }
+        let bits = w.bit_len();
+        LogSize::from_bits(&w.into_bytes(), bits)
+    }
+}
+
+/// Records a Memory Races Log from the SC access stream.
+#[derive(Debug, Clone)]
+pub struct FdrRecorder {
+    n_procs: u32,
+    tracker: DependenceTracker,
+    /// `icv[p][q]`: source icount of `q` that `p` is already known to
+    /// be ordered after.
+    icv: Vec<Vec<u64>>,
+    entries: Vec<LoggedDep>,
+    total_deps: u64,
+}
+
+impl FdrRecorder {
+    /// Creates a recorder for an `n_procs` machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_procs` is zero.
+    pub fn new(n_procs: u32) -> Self {
+        assert!(n_procs > 0, "need at least one processor");
+        Self {
+            n_procs,
+            tracker: DependenceTracker::new(),
+            icv: vec![vec![0; n_procs as usize]; n_procs as usize],
+            entries: Vec::new(),
+            total_deps: 0,
+        }
+    }
+
+    pub(crate) fn tracker_observe(&mut self, rec: &AccessRecord) -> Vec<Dependence> {
+        self.tracker.observe(rec)
+    }
+
+    pub(crate) fn log_dep(&mut self, d: Dependence, slack: u64) {
+        self.total_deps += 1;
+        let known = self.icv[d.dst_proc as usize][d.src_proc as usize];
+        if known >= d.src_icount {
+            return; // transitively implied by an earlier logged entry
+        }
+        self.entries.push(d.into());
+        self.icv[d.dst_proc as usize][d.src_proc as usize] = d.src_icount + slack;
+    }
+
+    /// Finishes recording.
+    pub fn finish(self) -> FdrLog {
+        FdrLog { n_procs: self.n_procs, entries: self.entries, total_deps: self.total_deps }
+    }
+}
+
+impl AccessSink for FdrRecorder {
+    fn record(&mut self, rec: AccessRecord) {
+        for d in self.tracker.observe(&rec) {
+            self.log_dep(d, 0);
+        }
+    }
+}
+
+/// An *optimal* Netzer reduction for comparison with the hardware's
+/// conservative one: it tracks full vector clocks per processor
+/// (including transitive knowledge through third processors), so it
+/// suppresses every dependence that is implied by any combination of
+/// logged entries and program order. Hardware cannot afford the
+/// historical vector-clock storage this needs; FDR's per-processor
+/// instruction-count vectors are the practical approximation.
+#[derive(Debug, Clone)]
+pub struct OptimalReduction {
+    n: usize,
+    tracker: DependenceTracker,
+    /// Per-processor checkpoints (icount, vector clock), ascending.
+    checkpoints: Vec<Vec<(u64, Vec<u64>)>>,
+    entries: Vec<LoggedDep>,
+    total_deps: u64,
+}
+
+impl OptimalReduction {
+    /// Creates a reducer for `n_procs` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_procs` is zero.
+    pub fn new(n_procs: u32) -> Self {
+        assert!(n_procs > 0, "need at least one processor");
+        Self {
+            n: n_procs as usize,
+            tracker: DependenceTracker::new(),
+            checkpoints: vec![Vec::new(); n_procs as usize],
+            entries: Vec::new(),
+            total_deps: 0,
+        }
+    }
+
+    fn vc_at(&self, p: usize, i: u64) -> Vec<u64> {
+        let mut vc = self.checkpoints[p]
+            .iter()
+            .rev()
+            .find(|(ci, _)| *ci <= i)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| vec![0; self.n]);
+        vc[p] = vc[p].max(i);
+        vc
+    }
+
+    /// Finishes and returns the reduced log.
+    pub fn finish(self) -> FdrLog {
+        FdrLog { n_procs: self.n as u32, entries: self.entries, total_deps: self.total_deps }
+    }
+}
+
+impl AccessSink for OptimalReduction {
+    fn record(&mut self, rec: AccessRecord) {
+        for d in self.tracker.observe(&rec) {
+            self.total_deps += 1;
+            let dst = d.dst_proc as usize;
+            let src = d.src_proc as usize;
+            let vc = self.vc_at(dst, d.dst_icount);
+            if vc[src] >= d.src_icount {
+                continue; // implied transitively
+            }
+            // Log and merge the source's knowledge at its icount.
+            let src_vc = self.vc_at(src, d.src_icount);
+            let mut new_vc = vc;
+            for q in 0..self.n {
+                new_vc[q] = new_vc[q].max(src_vc[q]);
+            }
+            self.checkpoints[dst].push((d.dst_icount, new_vc));
+            self.entries.push(d.into());
+        }
+    }
+}
+
+/// Verifies that a reduced log still implies every true dependence:
+/// the soundness property of the transitive reduction.
+///
+/// `logged` and `all` must be in the global observation order. Returns
+/// the first uncovered dependence, or `None` when the log is sound.
+pub fn verify_log_covers(
+    n_procs: u32,
+    logged: &[LoggedDep],
+    all: &[Dependence],
+) -> Option<Dependence> {
+    let n = n_procs as usize;
+    // Per-processor checkpoints of the transitive vector clock, as a
+    // step function over the processor's instruction counts.
+    let mut checkpoints: Vec<Vec<(u64, Vec<u64>)>> = vec![Vec::new(); n];
+    let vc_at = |cps: &Vec<Vec<(u64, Vec<u64>)>>, p: usize, i: u64| -> Vec<u64> {
+        let mut vc = cps[p]
+            .iter()
+            .rev()
+            .find(|(ci, _)| *ci <= i)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| vec![0; n]);
+        vc[p] = vc[p].max(i);
+        vc
+    };
+    // `logged` is a subsequence of `all` in the same global order
+    // (every logged entry was created from one observed dependence), so
+    // merge-walk the two: apply a logged entry to the happens-before
+    // state right before checking the dependence it came from.
+    let mut li = 0usize;
+    for d in all {
+        if li < logged.len() && logged[li] == LoggedDep::from(*d) {
+            let e = logged[li];
+            li += 1;
+            let src_vc = vc_at(&checkpoints, e.src_proc as usize, e.src_icount);
+            let mut new_vc = vc_at(&checkpoints, e.dst_proc as usize, e.dst_icount);
+            for q in 0..n {
+                new_vc[q] = new_vc[q].max(src_vc[q]);
+            }
+            checkpoints[e.dst_proc as usize].push((e.dst_icount, new_vc));
+        }
+        let vc = vc_at(&checkpoints, d.dst_proc as usize, d.dst_icount);
+        if vc[d.src_proc as usize] < d.src_icount {
+            return Some(*d);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delorean_sim::AccessRecord;
+
+    fn acc(proc: u32, icount: u64, line: u64, write: bool) -> AccessRecord {
+        AccessRecord { proc, icount, line, write }
+    }
+
+    #[test]
+    fn transitive_reduction_suppresses_figure1a() {
+        // Figure 1(a): P1 writes a then b; P2 writes b then reads a.
+        // The W(b)->W(b) dependence is logged; the W(a)->R(a) one is
+        // implied and suppressed.
+        let mut fdr = FdrRecorder::new(2);
+        fdr.record(acc(0, 1, 100, true)); // 1: Wa
+        fdr.record(acc(0, 2, 200, true)); // 1: Wb
+        fdr.record(acc(1, 1, 200, true)); // 2: Wb  -> log (P0,2)->(P1,1)
+        fdr.record(acc(1, 2, 100, false)); // 2: Ra -> implied, suppressed
+        let log = fdr.finish();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.total_dependences(), 2, "Wb->Wb and Wa->Ra");
+    }
+
+    #[test]
+    fn unrelated_dependences_are_both_logged() {
+        let mut fdr = FdrRecorder::new(2);
+        fdr.record(acc(0, 1, 100, true));
+        fdr.record(acc(1, 1, 100, false)); // logged
+        fdr.record(acc(0, 5, 200, true));
+        fdr.record(acc(1, 9, 200, false)); // newer source: logged again
+        let log = fdr.finish();
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn reduced_log_covers_all_dependences() {
+        // Random-ish interleaved stream; validate soundness.
+        let mut fdr = FdrRecorder::new(3);
+        let mut tracker = DependenceTracker::new();
+        let mut all = Vec::new();
+        let mut icounts = [0u64; 3];
+        let mut x = 12345u64;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let proc = (x >> 33) as u32 % 3;
+            let line = (x >> 17) % 24;
+            let write = x & 1 == 0;
+            icounts[proc as usize] += 1 + (x >> 55) % 4;
+            let rec = acc(proc, icounts[proc as usize], line, write);
+            all.extend(tracker.observe(&rec));
+            fdr.record(rec);
+        }
+        let log = fdr.finish();
+        assert!(log.len() as u64 <= log.total_dependences());
+        assert!(log.len() > 0);
+        assert_eq!(verify_log_covers(3, log.entries(), &all), None);
+    }
+
+    #[test]
+    fn optimal_reduction_never_logs_more_than_conservative() {
+        let mut fdr = FdrRecorder::new(3);
+        let mut opt = OptimalReduction::new(3);
+        let mut tracker = DependenceTracker::new();
+        let mut all = Vec::new();
+        let mut icounts = [0u64; 3];
+        let mut x = 777u64;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let proc = (x >> 33) as u32 % 3;
+            icounts[proc as usize] += 1 + (x >> 55) % 3;
+            let rec = AccessRecord {
+                proc,
+                icount: icounts[proc as usize],
+                line: (x >> 17) % 20,
+                write: x & 1 == 0,
+            };
+            all.extend(tracker.observe(&rec));
+            fdr.record(rec);
+            opt.record(rec);
+        }
+        let cons = fdr.finish();
+        let optimal = opt.finish();
+        assert!(
+            optimal.len() <= cons.len(),
+            "optimal ({}) must not exceed conservative ({})",
+            optimal.len(),
+            cons.len()
+        );
+        assert!(optimal.len() > 0);
+        // And it remains sound.
+        assert_eq!(verify_log_covers(3, optimal.entries(), &all), None);
+    }
+
+    #[test]
+    fn optimal_exploits_third_party_transitivity() {
+        // P0 -> P1, P1 -> P2, then P0 -> P2 (implied through P1).
+        // The conservative reduction logs all three; the optimal one
+        // suppresses the third.
+        let stream = [
+            acc(0, 10, 1, true),
+            acc(1, 10, 1, false), // P0 -> P1
+            acc(1, 20, 2, true),
+            acc(2, 10, 2, false), // P1 -> P2 (carries P0@10)
+            acc(2, 20, 1, false), // P0@10 -> P2: implied transitively
+        ];
+        let mut fdr = FdrRecorder::new(3);
+        let mut opt = OptimalReduction::new(3);
+        for r in stream {
+            fdr.record(r);
+            opt.record(r);
+        }
+        assert_eq!(fdr.finish().len(), 3, "conservative logs the third dep");
+        assert_eq!(opt.finish().len(), 2, "optimal suppresses it");
+    }
+
+    #[test]
+    fn measure_is_nonzero_and_compressible() {
+        let mut fdr = FdrRecorder::new(2);
+        for i in 0..500u64 {
+            fdr.record(acc(0, i * 2 + 1, i % 8, true));
+            fdr.record(acc(1, i * 2 + 2, i % 8, false));
+        }
+        let log = fdr.finish();
+        let size = log.measure();
+        assert!(size.raw_bits > 0);
+        assert!(size.compressed_bits <= size.raw_bits);
+    }
+}

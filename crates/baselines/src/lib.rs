@@ -1,0 +1,56 @@
+//! Baseline race recorders: FDR, Basic RTR and Strata.
+//!
+//! DeLorean's evaluation compares its log sizes against the published
+//! numbers of Basic RTR (~1 compressed byte per processor per
+//! kilo-instruction) and Strata (2.2 KB per million references for
+//! 4 processors). Since neither artifact is available, this crate
+//! implements all three recorders from scratch over the SC executor's
+//! interleaved access stream ([`delorean_sim::AccessSink`]):
+//!
+//! * [`FdrRecorder`] — logs individual cross-processor dependences,
+//!   suppressed by a (conservative) Netzer transitive reduction.
+//! * [`RtrRecorder`] — FDR plus Regulated TR: artificially *stricter*
+//!   dependences widen the suppression window, and recurring
+//!   dependences are vector-compacted.
+//! * [`StrataRecorder`] — logs per-processor reference-count vectors
+//!   (strata) cut before the second access of each cross-processor
+//!   dependence.
+//!
+//! The paper's published reference values are exported from
+//! [`mod@reference`] so benchmarks can print both the measured and the
+//! published comparison lines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dep;
+mod fdr;
+pub mod reference;
+mod rtr;
+mod strata;
+
+pub use dep::{DepKind, Dependence, DependenceTracker};
+pub use fdr::{verify_log_covers, FdrLog, FdrRecorder, LoggedDep, OptimalReduction};
+pub use rtr::{RtrLog, RtrRecorder};
+pub use strata::{StrataLog, StrataRecorder};
+
+use delorean_sim::{AccessSink, ConsistencyModel, ExecResult, Executor, RunSpec};
+
+/// Runs `spec` on the aggressive-SC baseline machine, feeding the
+/// interleaved access stream to `recorder`.
+///
+/// # Examples
+///
+/// ```
+/// use delorean_baselines::{run_baseline, FdrRecorder};
+/// use delorean_isa::workload::WorkloadSpec;
+/// use delorean_sim::RunSpec;
+///
+/// let spec = RunSpec::new(WorkloadSpec::test_spec(), 2, 3, 2_000);
+/// let mut fdr = FdrRecorder::new(2);
+/// let result = run_baseline(&spec, &mut fdr);
+/// assert!(result.mem_ops > 0);
+/// ```
+pub fn run_baseline(spec: &RunSpec, recorder: &mut dyn AccessSink) -> ExecResult {
+    Executor::new(ConsistencyModel::Sc).run_with(spec, recorder)
+}

@@ -1,0 +1,45 @@
+//! Published reference values the DeLorean paper compares against.
+//!
+//! The paper does not re-run FDR/RTR/Strata; it compares its measured
+//! log sizes against the numbers those papers published. The figure
+//! harness prints both our measured baselines and these published
+//! lines, clearly labelled.
+
+/// Basic RTR's published compressed log size: about 1 byte per
+/// processor per kilo-instruction (the "Average compressed log size in
+/// Basic RTR (estimated)" line of Figures 6-8).
+pub const RTR_BITS_PER_PROC_PER_KILOINST: f64 = 8.0;
+
+/// FDR's published compressed log rate: 2 MB per 1 GHz processor per
+/// second, i.e. ~16 bits per processor per kilo-instruction at IPC 1.
+pub const FDR_BITS_PER_PROC_PER_KILOINST: f64 = 16.0;
+
+/// Strata's published compressed log size: 2.2 KB per million memory
+/// references for a 4-processor run.
+pub const STRATA_KB_PER_MILLION_REFS: f64 = 2.2;
+
+/// Extra log cost of recording WAR dependences in Strata (+25%).
+pub const STRATA_WAR_OVERHEAD: f64 = 0.25;
+
+/// DeLorean's headline OrderOnly numbers for cross-checking the
+/// reproduction (compressed bits per processor per kilo-instruction at
+/// 2000-instruction chunks).
+pub const PAPER_ORDERONLY_BITS: f64 = 1.3;
+
+/// DeLorean's headline PicoLog number (compressed bits per processor
+/// per kilo-instruction at 1000-instruction chunks).
+pub const PAPER_PICOLOG_BITS: f64 = 0.05;
+
+/// The paper's PicoLog log-volume estimate for eight 5 GHz processors.
+pub const PAPER_PICOLOG_GB_PER_DAY: f64 = 20.0;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reference_relationships_hold() {
+        // RTR improves on FDR; DeLorean improves on RTR.
+        assert!(super::RTR_BITS_PER_PROC_PER_KILOINST < super::FDR_BITS_PER_PROC_PER_KILOINST);
+        assert!(super::PAPER_ORDERONLY_BITS < super::RTR_BITS_PER_PROC_PER_KILOINST);
+        assert!(super::PAPER_PICOLOG_BITS < super::PAPER_ORDERONLY_BITS);
+    }
+}

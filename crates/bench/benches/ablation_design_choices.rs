@@ -1,0 +1,144 @@
+//! Ablations over the design choices DESIGN.md calls out: chunk size
+//! (the paper's central knob), simultaneous chunks per processor,
+//! commit arbitration latency, and the overflow-noise level behind
+//! non-deterministic truncation. Each sweep reports the quantities the
+//! choice trades off.
+
+use delorean::{Machine, Mode};
+use delorean_bench::{budget, geomean, note, print_table};
+use delorean_chunk::{run as chunk_run, BulkScHooks, EngineConfig};
+use delorean_isa::workload;
+use delorean_sim::{ConsistencyModel, Executor, RunSpec};
+
+const APPS: [&str; 4] = ["barnes", "ocean", "radix", "raytrace"];
+
+fn rc_rate(app: &str, procs: u32, budget: u64) -> f64 {
+    let w = workload::by_name(app).unwrap().clone();
+    let spec = RunSpec::new(w, procs, 42, budget);
+    let r = Executor::new(ConsistencyModel::Rc).run(&spec);
+    r.work_units as f64 / r.cycles as f64
+}
+
+fn main() {
+    let budget = budget(25_000);
+
+    // (a) Chunk size: log size falls, squashes rise.
+    let mut rows = Vec::new();
+    for chunk in [250u32, 500, 1_000, 2_000, 4_000] {
+        let mut bits = Vec::new();
+        let mut squashes = 0u64;
+        let mut speed = Vec::new();
+        for app in APPS {
+            let m = Machine::builder()
+                .mode(Mode::OrderOnly)
+                .procs(8)
+                .chunk_size(chunk)
+                .budget(budget)
+                .build();
+            let r = m.record(workload::by_name(app).unwrap(), 42);
+            bits.push(r.compressed_bits_per_proc_per_kiloinst().max(1e-3));
+            squashes += r.stats.squashes;
+            speed.push(
+                (r.stats.work_units as f64 / r.stats.cycles as f64)
+                    / rc_rate(app, 8, budget),
+            );
+        }
+        rows.push((
+            format!("chunk {chunk}"),
+            vec![geomean(&bits), squashes as f64, geomean(&speed)],
+        ));
+    }
+    print_table(
+        "Ablation (a): OrderOnly chunk size",
+        &["", "log b/p/ki", "squashes", "speed/RC"],
+        &rows,
+        3,
+    );
+    note("log size scales ~1/chunk-size; conflicts (and squashes) grow with chunk size — the paper picks 2,000 as the sweet spot");
+
+    // (b) Simultaneous chunks per processor, OrderOnly.
+    let mut rows = Vec::new();
+    for sim in [1u32, 2, 4, 8] {
+        let mut speed = Vec::new();
+        let mut stalls = Vec::new();
+        for app in APPS {
+            let m = Machine::builder()
+                .mode(Mode::OrderOnly)
+                .procs(8)
+                .budget(budget)
+                .simultaneous_chunks(sim)
+                .build();
+            let st = m.record(workload::by_name(app).unwrap(), 42).stats;
+            speed.push(
+                (st.work_units as f64 / st.cycles as f64) / rc_rate(app, 8, budget),
+            );
+            stalls.push(st.stall_pct().max(1e-3));
+        }
+        rows.push((format!("{sim} chunks"), vec![geomean(&speed), geomean(&stalls)]));
+    }
+    print_table(
+        "Ablation (b): simultaneous chunks per processor (OrderOnly)",
+        &["", "speed/RC", "stall %"],
+        &rows,
+        3,
+    );
+    note("the paper's Table 5 uses 2; beyond that conflicts and overflow risk grow faster than the stall savings");
+
+    // (c) Commit arbitration latency.
+    let mut rows = Vec::new();
+    for arb in [10u64, 30, 100, 300] {
+        let mut speed = Vec::new();
+        for app in APPS {
+            let w = workload::by_name(app).unwrap().clone();
+            let spec = RunSpec::new(w, 8, 42, budget);
+            let mut cfg = EngineConfig::recording(2_000);
+            cfg.arbitration_latency = arb;
+            let st = chunk_run(&spec, &cfg, &mut BulkScHooks);
+            speed.push(
+                (st.work_units as f64 / st.cycles as f64) / rc_rate(app, 8, budget),
+            );
+        }
+        rows.push((format!("arb {arb}"), vec![geomean(&speed)]));
+    }
+    print_table(
+        "Ablation (c): commit arbitration round trip (BulkSC)",
+        &["", "speed/RC"],
+        &rows,
+        3,
+    );
+    note("commit arbitration is overlapped with execution of subsequent chunks, so even 10x the paper's 30-cycle latency costs little — the paper's architectural argument for lazy commit");
+
+    // (d) Overflow-noise level: CS log size vs determinism cost.
+    let mut rows = Vec::new();
+    for noise in [0.0f64, 0.00003, 0.0003, 0.003] {
+        let mut cs_bits = 0u64;
+        let mut insts = 0u64;
+        let mut truncs = 0u64;
+        for app in APPS {
+            let m = Machine::builder()
+                .mode(Mode::OrderOnly)
+                .procs(8)
+                .budget(budget)
+                .overflow_noise(noise)
+                .build();
+            let r = m.record(workload::by_name(app).unwrap(), 42);
+            cs_bits += r.memory_ordering_sizes().cs.raw_bits;
+            insts += r.total_instructions();
+            truncs += r.stats.overflow_truncations;
+            // Determinism must hold at every noise level.
+            let rep = m.replay(&r).expect("shape");
+            assert!(rep.deterministic, "{app} diverged at noise {noise}");
+        }
+        rows.push((
+            format!("noise {noise}"),
+            vec![truncs as f64, cs_bits as f64 / 8.0 / (insts as f64 / 8.0) * 1000.0],
+        ));
+    }
+    print_table(
+        "Ablation (d): overflow-noise level (OrderOnly)",
+        &["", "trunc", "CS b/p/ki"],
+        &rows,
+        3,
+    );
+    note("the CS log price of non-deterministic truncation grows linearly with the event rate, and replay stays deterministic throughout — the CS-log mechanism is exercised, not just tolerated");
+}

@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks of the substrate itself: simulated
+//! instructions per second through the chunk engine and the baseline
+//! executors, LZ77 throughput and signature operations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use delorean_chunk::{run as chunk_run, BulkScHooks, EngineConfig};
+use delorean_compress::lz77;
+use delorean_isa::workload;
+use delorean_mem::Signature;
+use delorean_sim::{ConsistencyModel, Executor, RunSpec};
+use std::hint::black_box;
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    let budget = 10_000u64;
+    let spec = RunSpec::new(workload::by_name("barnes").unwrap().clone(), 4, 7, budget);
+    g.throughput(Throughput::Elements(budget * 4));
+    g.bench_function("chunked_barnes_4p", |b| {
+        b.iter(|| {
+            black_box(chunk_run(&spec, &EngineConfig::recording(1_000), &mut BulkScHooks))
+        })
+    });
+    g.bench_function("rc_barnes_4p", |b| {
+        b.iter(|| black_box(Executor::new(ConsistencyModel::Rc).run(&spec)))
+    });
+    g.finish();
+}
+
+fn lz77_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lz77");
+    // A PI-log-like repetitive stream.
+    let data: Vec<u8> = (0..64 * 1024u32).map(|i| ((i % 9) | ((i % 7) << 4)) as u8).collect();
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress_pi_like_64k", |b| {
+        b.iter(|| black_box(lz77::compressed_bits(&data)))
+    });
+    g.finish();
+}
+
+fn signature_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("signature");
+    let mut a = Signature::new();
+    let mut bsig = Signature::new();
+    for i in 0..200u64 {
+        a.insert(i * 977);
+        bsig.insert(i * 977 + 13);
+    }
+    g.bench_function("intersect_2kbit", |b| b.iter(|| black_box(a.intersects(&bsig))));
+    g.bench_function("insert", |b| {
+        let mut s = Signature::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            s.insert(black_box(i));
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = engine_throughput, lz77_throughput, signature_ops
+}
+criterion_main!(benches);

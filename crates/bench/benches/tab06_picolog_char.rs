@@ -1,0 +1,33 @@
+//! Table 6: characterizing PicoLog on 8 processors — parallel-commit
+//! behaviour and commit-token passing, per application.
+
+use delorean::{Machine, Mode};
+use delorean_bench::{budget, note};
+use delorean_isa::workload;
+
+fn main() {
+    let budget = budget(30_000);
+    let seed = 42;
+    println!("== Table 6: characterizing PicoLog (8 processors) ==");
+    println!(
+        "{:<11} {:>6} {:>7} {:>7} {:>9} {:>9} {:>9} {:>7}",
+        "app", "ready", "commit", "ready%", "waitTok", "waitCmpl", "roundtrip", "stall%"
+    );
+    for w in workload::catalog() {
+        let m = Machine::builder().mode(Mode::PicoLog).procs(8).budget(budget).build();
+        let stats = m.record(w, seed).stats;
+        let t = stats.token.as_ref().expect("PicoLog collects token stats");
+        println!(
+            "{:<11} {:>6.1} {:>7.1} {:>7.1} {:>9.0} {:>9.0} {:>9.0} {:>7.1}",
+            w.name,
+            stats.parallel.avg_ready_procs(),
+            stats.parallel.avg_actual_commit(),
+            t.proc_ready_pct(),
+            t.avg_wait_token(),
+            t.avg_wait_complete(),
+            t.avg_roundtrip(),
+            stats.stall_pct(),
+        );
+    }
+    note("paper: 4.2-5.2 processors hold ready chunks but only 2.6-3.0 commit together (round-robin initiation); processors are ready at token arrival 77-84% of the time; token round trips run 600-3,300 cycles; stalls average 6-9% — raytrace stalls most (its squashes concentrate on few processors), radix least (squashes spread out)");
+}

@@ -1,0 +1,197 @@
+//! Engine configuration.
+
+use delorean_sim::MachineConfig;
+
+/// Device activity configuration (interrupts and DMA are generated
+/// only during recording; replay reproduces them from logs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfig {
+    /// Mean cycles between device interrupts per processor (0 = none).
+    pub irq_period: u64,
+    /// Mean cycles between DMA transfers (0 = none).
+    pub dma_period: u64,
+    /// Words written per DMA transfer.
+    pub dma_words: u32,
+}
+
+impl DeviceConfig {
+    /// No device activity (SPLASH-2 runs, which the paper evaluates
+    /// without system references).
+    pub fn none() -> Self {
+        Self { irq_period: 0, dma_period: 0, dma_words: 0 }
+    }
+
+    /// Full-system activity (the commercial workloads).
+    pub fn commercial() -> Self {
+        Self { irq_period: 120_000, dma_period: 400_000, dma_words: 64 }
+    }
+}
+
+/// Replay perturbation, modelling Section 6.2.1's methodology: the
+/// replay simulator adds 10–300 cycle stalls before a random 30% of
+/// commit operations and flips the latency of 1.5% of cache accesses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbConfig {
+    /// Fraction of commit requests delayed.
+    pub commit_delay_frac: f64,
+    /// Minimum injected delay, cycles.
+    pub delay_min: u64,
+    /// Maximum injected delay, cycles.
+    pub delay_max: u64,
+    /// Fraction of cache accesses whose hit/miss latency is flipped.
+    pub cache_flip_frac: f64,
+}
+
+impl Default for PerturbConfig {
+    fn default() -> Self {
+        Self { commit_delay_frac: 0.3, delay_min: 10, delay_max: 300, cache_flip_frac: 0.015 }
+    }
+}
+
+/// Full configuration of one engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// The Table-5 machine (processor count, caches, latencies,
+    /// parallel-commit and simultaneous-chunk limits).
+    pub machine: MachineConfig,
+    /// Standard chunk size in retired instructions (OrderOnly/PicoLog)
+    /// or the maximum chunk size (Order&Size).
+    pub chunk_size: u32,
+    /// Probability that a chunk is artificially truncated to a uniform
+    /// size in `[1, chunk_size]` — models Order&Size's non-deterministic
+    /// chunking environment (the paper truncates 25% of chunks).
+    pub variable_truncate_prob: f64,
+    /// Whether repeated chunk collisions shrink the chunk (recording in
+    /// Order&Size/OrderOnly; never in PicoLog or during replay).
+    pub collision_shrink: bool,
+    /// Squashes tolerated before shrinking begins.
+    pub collision_retry: u32,
+    /// Probability per speculative store of phantom set occupancy
+    /// (wrong-path / cross-chunk cache interference noise that makes
+    /// overflow truncation genuinely non-deterministic).
+    pub overflow_noise: f64,
+    /// Interrupts arriving within this many cycles of the current
+    /// chunk's start squash it instead of waiting (Section 4.2.1).
+    pub irq_squash_window: u64,
+    /// Seed for all timing-level randomness (distinct seeds between a
+    /// recording and its replay model genuinely different machine
+    /// timing).
+    pub timing_seed: u64,
+    /// `true` for replay runs: device events are suppressed, collision
+    /// shrinking is disabled and early-overflow chunks split into
+    /// piggyback continuations.
+    pub replay: bool,
+    /// Commit arbitration round trip, cycles (30 recording; the paper
+    /// penalizes replay with 50).
+    pub arbitration_latency: u64,
+    /// Maximum concurrent commits (4 recording; 1 during replay per the
+    /// paper's methodology).
+    pub max_parallel_commits: u32,
+    /// Optional replay perturbation.
+    pub perturb: Option<PerturbConfig>,
+    /// Device activity.
+    pub devices: DeviceConfig,
+    /// Collect the Table-6 commit-token statistics (round-robin
+    /// policies).
+    pub collect_token_stats: bool,
+    /// Minimum cycles between consecutive grants — models the commit
+    /// token passing between processors in PicoLog's predefined order
+    /// (0 for the recorded-order modes, whose arbiter grants
+    /// back-to-back).
+    pub grant_gap: u64,
+}
+
+impl EngineConfig {
+    /// A recording-side configuration with the default machine and the
+    /// given standard chunk size.
+    pub fn recording(chunk_size: u32) -> Self {
+        let machine = MachineConfig::default();
+        Self {
+            machine,
+            chunk_size,
+            variable_truncate_prob: 0.0,
+            collision_shrink: true,
+            collision_retry: 4,
+            overflow_noise: 0.00003,
+            irq_squash_window: 150,
+            timing_seed: 0x5eed,
+            replay: false,
+            arbitration_latency: machine.arbitration_latency,
+            max_parallel_commits: machine.max_parallel_commits,
+            perturb: None,
+            devices: DeviceConfig::none(),
+            collect_token_stats: false,
+            grant_gap: 0,
+        }
+    }
+
+    /// The matching replay-side configuration per the paper's replay
+    /// methodology: no device events, no collision shrinking, parallel
+    /// commit disabled, 50-cycle arbitration, perturbation on.
+    pub fn replay_of(recording: &EngineConfig, timing_seed: u64) -> Self {
+        Self {
+            replay: true,
+            collision_shrink: false,
+            arbitration_latency: 50,
+            max_parallel_commits: 1,
+            perturb: Some(PerturbConfig::default()),
+            timing_seed,
+            ..recording.clone()
+        }
+    }
+
+    /// Sets the processor count (Figure 12 sweeps 4/8/16).
+    #[must_use]
+    pub fn with_procs(mut self, n: u32) -> Self {
+        self.machine.n_procs = n;
+        self
+    }
+
+    /// Sets the simultaneous-chunks-per-processor limit.
+    #[must_use]
+    pub fn with_simultaneous_chunks(mut self, n: u32) -> Self {
+        self.machine.simultaneous_chunks = n;
+        self
+    }
+
+    /// Enables Table-6 commit-token statistics collection.
+    #[must_use]
+    pub fn with_token_stats(mut self) -> Self {
+        self.collect_token_stats = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_config_follows_paper_methodology() {
+        let rec = EngineConfig::recording(2000);
+        let rep = EngineConfig::replay_of(&rec, 99);
+        assert!(rep.replay);
+        assert!(!rep.collision_shrink);
+        assert_eq!(rep.arbitration_latency, 50);
+        assert_eq!(rep.max_parallel_commits, 1);
+        assert!(rep.perturb.is_some());
+        assert_eq!(rep.chunk_size, 2000);
+        assert_eq!(rep.timing_seed, 99);
+    }
+
+    #[test]
+    fn recording_defaults() {
+        let c = EngineConfig::recording(1000);
+        assert!(!c.replay);
+        assert_eq!(c.arbitration_latency, 30);
+        assert_eq!(c.max_parallel_commits, 4);
+        assert_eq!(c.variable_truncate_prob, 0.0);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = EngineConfig::recording(1000).with_procs(16).with_simultaneous_chunks(4);
+        assert_eq!(c.machine.n_procs, 16);
+        assert_eq!(c.machine.simultaneous_chunks, 4);
+    }
+}

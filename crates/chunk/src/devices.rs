@@ -1,0 +1,130 @@
+//! Timing-coupled device models: I/O ports, interrupt sources, DMA.
+//!
+//! These devices are the *sources of nondeterminism* the input logs
+//! capture: the timer port returns the current cycle (different between
+//! recording and replay), the device RNG stream depends on the global
+//! order cores reach it, interrupts fire at timing-dependent cycles and
+//! DMA transfers carry device-generated data.
+
+use crate::config::DeviceConfig;
+use delorean_isa::workload::PORT_TIMER;
+use delorean_isa::{Addr, Word};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The machine's device bank.
+#[derive(Debug, Clone)]
+pub struct DeviceBank {
+    rng: SmallRng,
+    cfg: DeviceConfig,
+    dma_seq: u64,
+    dma_base: Addr,
+    dma_span: u64,
+}
+
+impl DeviceBank {
+    /// Creates the bank. `dma_base`/`dma_span` locate the DMA target
+    /// buffer in the address map.
+    pub fn new(seed: u64, cfg: DeviceConfig, dma_base: Addr, dma_span: u64) -> Self {
+        Self {
+            rng: SmallRng::seed_from_u64(seed ^ 0xdeed_0bed),
+            cfg,
+            dma_seq: 0,
+            dma_base,
+            dma_span,
+        }
+    }
+
+    /// Serves an uncached I/O load issued at cycle `now`.
+    pub fn io_load(&mut self, port: u16, now: u64) -> Word {
+        if port == PORT_TIMER {
+            now
+        } else {
+            self.rng.gen::<u64>() ^ u64::from(port)
+        }
+    }
+
+    /// Next interrupt arrival for a core: `period ± 25%` cycles from
+    /// `now`, or `None` when interrupts are disabled.
+    pub fn next_irq_delay(&mut self) -> Option<u64> {
+        let p = self.cfg.irq_period;
+        if p == 0 {
+            return None;
+        }
+        Some(self.rng.gen_range(p - p / 4..=p + p / 4))
+    }
+
+    /// Interrupt vector and payload for a delivery.
+    pub fn irq_content(&mut self) -> (u16, Word) {
+        (self.rng.gen_range(0..4u16), self.rng.gen())
+    }
+
+    /// Next DMA transfer delay, or `None` when DMA is disabled.
+    pub fn next_dma_delay(&mut self) -> Option<u64> {
+        let p = self.cfg.dma_period;
+        if p == 0 {
+            return None;
+        }
+        Some(self.rng.gen_range(p - p / 4..=p + p / 4))
+    }
+
+    /// Builds the next DMA transfer's writes (device-generated data
+    /// into the DMA buffer region).
+    pub fn dma_transfer(&mut self) -> Vec<(Addr, Word)> {
+        let words = u64::from(self.cfg.dma_words).min(self.dma_span);
+        let start = (self.dma_seq * 17) % self.dma_span;
+        self.dma_seq += 1;
+        (0..words)
+            .map(|k| (self.dma_base + (start + k) % self.dma_span, self.rng.gen()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(cfg: DeviceConfig) -> DeviceBank {
+        DeviceBank::new(3, cfg, 1000, 64)
+    }
+
+    #[test]
+    fn timer_returns_current_cycle() {
+        let mut b = bank(DeviceConfig::none());
+        assert_eq!(b.io_load(PORT_TIMER, 12345), 12345);
+    }
+
+    #[test]
+    fn rng_port_is_seed_deterministic() {
+        let mut a = bank(DeviceConfig::none());
+        let mut b = bank(DeviceConfig::none());
+        assert_eq!(a.io_load(1, 0), b.io_load(1, 0));
+    }
+
+    #[test]
+    fn disabled_devices_fire_never() {
+        let mut b = bank(DeviceConfig::none());
+        assert_eq!(b.next_irq_delay(), None);
+        assert_eq!(b.next_dma_delay(), None);
+    }
+
+    #[test]
+    fn dma_transfers_stay_in_buffer() {
+        let mut b = bank(DeviceConfig::commercial());
+        for _ in 0..5 {
+            for (addr, _) in b.dma_transfer() {
+                assert!((1000..1064).contains(&addr));
+            }
+        }
+    }
+
+    #[test]
+    fn irq_delay_within_jitter_band() {
+        let mut b = bank(DeviceConfig::commercial());
+        let p = DeviceConfig::commercial().irq_period;
+        for _ in 0..20 {
+            let d = b.next_irq_delay().unwrap();
+            assert!(d >= p - p / 4 && d <= p + p / 4);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The mode-extension interface between the chunk engine and the
+//! DeLorean recorder/replayer.
+
+use crate::CoreId;
+use delorean_isa::{Addr, Word};
+
+/// Who is committing: a processor chunk or the DMA engine (which "acts
+/// like another processor" at the arbiter, Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Committer {
+    /// A processor.
+    Proc(CoreId),
+    /// The DMA engine.
+    Dma,
+}
+
+/// Why a committed chunk ended where it did (Table 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// Reached the standard (or CS-log-forced) instruction count —
+    /// deterministic.
+    StandardSize,
+    /// Truncated before an uncached access or special system
+    /// instruction — deterministic (reappears in the replay).
+    Uncached,
+    /// The processor reached its retired-instruction budget —
+    /// deterministic end of run.
+    BudgetEnd,
+    /// Attempted cache overflow — **non-deterministic**, logged in the
+    /// CS log.
+    Overflow,
+    /// Repeated chunk collision shrank the chunk — **non-deterministic**,
+    /// logged in the CS log.
+    Collision,
+}
+
+impl TruncationReason {
+    /// Whether the truncation reappears deterministically during replay
+    /// (and therefore needs no CS-log entry in OrderOnly/PicoLog).
+    pub fn is_deterministic(self) -> bool {
+        !matches!(self, TruncationReason::Overflow | TruncationReason::Collision)
+    }
+}
+
+/// Everything the logs need to know about one commit, delivered at the
+/// arbiter's grant point (the serialization point). Squashed execution
+/// attempts never reach this callback, so logging from it is inherently
+/// squash-safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// The committer the arbiter granted.
+    pub committer: Committer,
+    /// Per-processor logical chunk index (1-based; 0 for DMA).
+    pub chunk_index: u64,
+    /// Retired instructions in the chunk (0 for DMA).
+    pub size: u32,
+    /// Why the chunk ended.
+    pub truncation: TruncationReason,
+    /// Global Commit Count *after* this commit (the PicoLog "commit
+    /// slot" for DMA).
+    pub global_slot: u64,
+    /// Interrupt delivered at this chunk's start, if any
+    /// (vector, payload) — feeds the Interrupt log.
+    pub interrupt: Option<(u16, Word)>,
+    /// Values returned by the chunk's uncached I/O loads, in execution
+    /// order — feeds the I/O log.
+    pub io_values: Vec<(u16, Word)>,
+    /// DMA payload for DMA commits (empty otherwise) — feeds the DMA
+    /// log.
+    pub dma_data: Vec<(Addr, Word)>,
+    /// Cache lines the chunk accessed (read or write) — the footprint
+    /// the PI-log stratifier disambiguates on (Section 4.3).
+    pub access_lines: Vec<u64>,
+    /// Cache lines the chunk wrote (subset of `access_lines`); a
+    /// cross-processor *conflict* requires a write on one side.
+    pub write_lines: Vec<u64>,
+}
+
+/// One eligible pending commit request, as the arbiter policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingView {
+    /// Who requests.
+    pub committer: Committer,
+    /// Arrival order at the arbiter (monotone sequence number).
+    pub arrival: u64,
+}
+
+/// Arbiter state exposed to [`ExecutionHooks::next_grant`].
+#[derive(Debug)]
+pub struct ArbiterContext<'a> {
+    /// Eligible pending requests (each is its core's oldest uncommitted
+    /// chunk, with no same-core commit in flight), in arrival order.
+    pub pending: &'a [PendingView],
+    /// Number of processors.
+    pub n_procs: u32,
+    /// Committers currently in the committing phase.
+    pub committing: &'a [Committer],
+    /// Global Commit Count so far.
+    pub total_commits: u64,
+    /// Per-core flag: `true` once a core has retired its full budget
+    /// and committed its last chunk (it will never request again, so
+    /// round-robin policies must skip it).
+    pub finished: &'a [bool],
+}
+
+impl ArbiterContext<'_> {
+    /// Whether `c` has an eligible pending request.
+    pub fn has_pending(&self, c: Committer) -> bool {
+        self.pending.iter().any(|p| p.committer == c)
+    }
+}
+
+/// Decision points a DeLorean execution mode plugs into the engine.
+///
+/// All methods have recording-side defaults (arrival-order commits,
+/// device values passed through, no forced chunk sizes), so a plain
+/// BulkSC machine is `ExecutionHooks` with nothing overridden — see
+/// [`BulkScHooks`].
+pub trait ExecutionHooks {
+    /// Picks the next pending request to grant, or `None` to wait.
+    ///
+    /// The returned committer must currently be pending in `ctx`,
+    /// except `Committer::Dma` during replay, which the engine
+    /// synthesizes from the DMA log via [`ExecutionHooks::dma_data`].
+    fn next_grant(&mut self, ctx: &ArbiterContext<'_>) -> Option<Committer> {
+        crate::policy::arrival(ctx)
+    }
+
+    /// Observes a commit at the grant (serialization) point.
+    fn on_commit(&mut self, rec: &CommitRecord) {
+        let _ = rec;
+    }
+
+    /// Replay: the forced size of `core`'s logical chunk `index`
+    /// (1-based), from the CS log. Recording returns `None`.
+    fn forced_chunk_size(&mut self, core: CoreId, index: u64) -> Option<u32> {
+        let _ = (core, index);
+        None
+    }
+
+    /// Supplies the value of the `seq`-th I/O load of `core`'s logical
+    /// chunk `index`. Recording passes `device_value` through (it is
+    /// logged at commit via [`CommitRecord::io_values`]); replay
+    /// returns the logged value. Keying by `(core, index, seq)` makes
+    /// the value stable across squash re-executions.
+    fn io_load(
+        &mut self,
+        core: CoreId,
+        index: u64,
+        seq: u32,
+        port: u16,
+        device_value: Word,
+    ) -> Word {
+        let _ = (core, index, seq, port);
+        device_value
+    }
+
+    /// Replay: the interrupt to deliver at the start of `core`'s
+    /// logical chunk `index`, if the Interrupt log has one there.
+    fn pending_interrupt(&mut self, core: CoreId, index: u64) -> Option<(u16, Word)> {
+        let _ = (core, index);
+        None
+    }
+
+    /// Replay: the payload of the next DMA commit (engine calls this
+    /// when [`ExecutionHooks::next_grant`] returns `Committer::Dma`
+    /// with no device-generated request pending).
+    fn dma_data(&mut self) -> Vec<(Addr, Word)> {
+        Vec::new()
+    }
+}
+
+/// A plain BulkSC machine: chunked execution with arrival-order
+/// commits and no logging. Used for the paper's `BulkSC` bar in
+/// Figure 10.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BulkScHooks;
+
+impl ExecutionHooks for BulkScHooks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_classification_matches_table4() {
+        assert!(TruncationReason::StandardSize.is_deterministic());
+        assert!(TruncationReason::Uncached.is_deterministic());
+        assert!(TruncationReason::BudgetEnd.is_deterministic());
+        assert!(!TruncationReason::Overflow.is_deterministic());
+        assert!(!TruncationReason::Collision.is_deterministic());
+    }
+
+    #[test]
+    fn context_pending_lookup() {
+        let pending = [PendingView { committer: Committer::Proc(1), arrival: 0 }];
+        let finished = [false, false];
+        let ctx = ArbiterContext {
+            pending: &pending,
+            n_procs: 2,
+            committing: &[],
+            total_commits: 0,
+            finished: &finished,
+        };
+        assert!(ctx.has_pending(Committer::Proc(1)));
+        assert!(!ctx.has_pending(Committer::Proc(0)));
+        assert!(!ctx.has_pending(Committer::Dma));
+    }
+
+    #[test]
+    fn default_hooks_pass_io_through() {
+        let mut h = BulkScHooks;
+        assert_eq!(h.io_load(0, 1, 0, 3, 77), 77);
+        assert_eq!(h.forced_chunk_size(0, 1), None);
+        assert_eq!(h.pending_interrupt(0, 1), None);
+        assert!(h.dma_data().is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! Reusable arbiter grant policies.
+//!
+//! The DeLorean modes in the `delorean` crate compose these with their
+//! logging; the engine's default ([`BulkScHooks`](crate::BulkScHooks))
+//! uses [`arrival`].
+
+use crate::hooks::{ArbiterContext, Committer};
+
+/// Grants the earliest-arrived eligible request — the recording-side
+/// policy of Order&Size and OrderOnly, where the arbiter simply logs
+/// whatever order commits happen to occur in.
+pub fn arrival(ctx: &ArbiterContext<'_>) -> Option<Committer> {
+    ctx.pending.iter().min_by_key(|p| p.arrival).map(|p| p.committer)
+}
+
+/// Round-robin commit token over processors — PicoLog's predefined
+/// order. DMA requests are granted as soon as they arrive (the arbiter
+/// records their commit slot instead of a PI entry). Processors that
+/// have finished their run are skipped, otherwise the token would wait
+/// on them forever.
+///
+/// `cursor` is the processor nominally holding the token. The caller
+/// owns the cursor and advances it past the returned processor when the
+/// grant actually happens (in `on_commit`).
+pub fn round_robin(ctx: &ArbiterContext<'_>, cursor: u32) -> Option<Committer> {
+    if ctx.has_pending(Committer::Dma) {
+        return Some(Committer::Dma);
+    }
+    let mut token = cursor % ctx.n_procs;
+    for _ in 0..ctx.n_procs {
+        if !ctx.finished[token as usize] {
+            let c = Committer::Proc(token);
+            return ctx.has_pending(c).then_some(c);
+        }
+        token = (token + 1) % ctx.n_procs;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::PendingView;
+
+    fn ctx<'a>(pending: &'a [PendingView], finished: &'a [bool]) -> ArbiterContext<'a> {
+        ArbiterContext { pending, n_procs: 4, committing: &[], total_commits: 0, finished }
+    }
+
+    const LIVE: [bool; 4] = [false; 4];
+
+    #[test]
+    fn arrival_picks_earliest() {
+        let pending = [
+            PendingView { committer: Committer::Proc(2), arrival: 5 },
+            PendingView { committer: Committer::Proc(0), arrival: 3 },
+        ];
+        assert_eq!(arrival(&ctx(&pending, &LIVE)), Some(Committer::Proc(0)));
+        assert_eq!(arrival(&ctx(&[], &LIVE)), None);
+    }
+
+    #[test]
+    fn round_robin_waits_for_token_holder() {
+        let pending = [PendingView { committer: Committer::Proc(2), arrival: 0 }];
+        // Token at 1: proc 2 must wait even though it is ready.
+        assert_eq!(round_robin(&ctx(&pending, &LIVE), 1), None);
+        assert_eq!(round_robin(&ctx(&pending, &LIVE), 2), Some(Committer::Proc(2)));
+        // Cursor wraps.
+        assert_eq!(round_robin(&ctx(&pending, &LIVE), 6), Some(Committer::Proc(2)));
+    }
+
+    #[test]
+    fn round_robin_skips_finished_processors() {
+        let pending = [PendingView { committer: Committer::Proc(2), arrival: 0 }];
+        let finished = [false, true, false, false];
+        assert_eq!(round_robin(&ctx(&pending, &finished), 1), Some(Committer::Proc(2)));
+        // All finished: nothing to grant.
+        let all = [true; 4];
+        assert_eq!(round_robin(&ctx(&pending, &all), 0), None);
+    }
+
+    #[test]
+    fn round_robin_prioritizes_dma() {
+        let pending = [
+            PendingView { committer: Committer::Proc(1), arrival: 0 },
+            PendingView { committer: Committer::Dma, arrival: 9 },
+        ];
+        assert_eq!(round_robin(&ctx(&pending, &LIVE), 1), Some(Committer::Dma));
+    }
+}

@@ -1,0 +1,314 @@
+//! Speculative chunk state, the per-chunk memory view and the per-core
+//! speculative-line occupancy tracker (for overflow truncation).
+
+use crate::hooks::TruncationReason;
+use delorean_isa::vm::VmState;
+use delorean_isa::{Addr, DataMemory, Word};
+use delorean_mem::{line_of, Memory, Signature};
+use std::collections::{HashMap, HashSet};
+
+/// Lifecycle of an in-flight chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChunkState {
+    /// Functionally executed; its completion event is in flight.
+    Executing,
+    /// Completed; commit request travelling to / queued at the arbiter.
+    Completed,
+    /// Granted; commit propagating through the system.
+    Committing,
+}
+
+/// One speculative chunk.
+#[derive(Debug, Clone)]
+pub(crate) struct Chunk {
+    /// 1-based per-core logical index.
+    pub index: u64,
+    /// Instruction budget for this chunk.
+    pub target: u32,
+    /// VM state at chunk start (squash restore point).
+    pub checkpoint: VmState,
+    /// Speculative write buffer (word granular).
+    pub buffer: HashMap<Addr, Word>,
+    /// Lines written.
+    pub wlines: HashSet<u64>,
+    /// Lines read (exact; conflict detection uses exact sets — the
+    /// hardware's Bulk signatures are engineered for a low
+    /// false-positive rate, which exact sets model).
+    pub rlines: HashSet<u64>,
+    /// Read signature.
+    pub rsig: Signature,
+    /// Write signature.
+    pub wsig: Signature,
+    /// Retired instructions in the current execution attempt.
+    pub size: u32,
+    /// Why the current attempt ended.
+    pub reason: TruncationReason,
+    /// Lifecycle state.
+    pub state: ChunkState,
+    /// Bumped on every (re-)execution; stale events are ignored.
+    pub incarnation: u64,
+    /// Squash count (drives collision shrinking).
+    pub squashes: u32,
+    /// Cycle the current attempt started.
+    pub start_time: u64,
+    /// Cycle the current attempt completes.
+    pub complete_time: u64,
+    /// Interrupt delivered at this chunk's start (redelivered on every
+    /// squash re-execution so the boundary stays stable).
+    pub irq: Option<(u16, delorean_isa::Word)>,
+    /// I/O-load values returned during the current attempt.
+    pub io_values: Vec<(u16, delorean_isa::Word)>,
+    /// Replay-side spurious overflow observed during execution (the
+    /// chunk commits in two back-to-back pieces; modelled as extra
+    /// commit latency, Section 4.2.3).
+    pub replay_split: bool,
+    /// Repeated-collision shrinking reduced this chunk's target size
+    /// (non-deterministic; reported as `TruncationReason::Collision`).
+    pub shrunk: bool,
+}
+
+impl Chunk {
+    pub(crate) fn new(index: u64, target: u32, checkpoint: VmState) -> Self {
+        Self {
+            index,
+            target,
+            checkpoint,
+            buffer: HashMap::new(),
+            wlines: HashSet::new(),
+            rlines: HashSet::new(),
+            rsig: Signature::new(),
+            wsig: Signature::new(),
+            size: 0,
+            reason: TruncationReason::StandardSize,
+            state: ChunkState::Executing,
+            incarnation: 0,
+            squashes: 0,
+            start_time: 0,
+            complete_time: 0,
+            irq: None,
+            io_values: Vec::new(),
+            replay_split: false,
+            shrunk: false,
+        }
+    }
+
+    /// Clears the speculative state for a re-execution. The attached
+    /// interrupt (if any) is kept: it is redelivered at the retry.
+    pub(crate) fn reset_for_retry(&mut self, new_incarnation: u64) {
+        self.buffer.clear();
+        self.wlines.clear();
+        self.rlines.clear();
+        self.rsig.clear();
+        self.wsig.clear();
+        self.size = 0;
+        self.reason = TruncationReason::StandardSize;
+        self.state = ChunkState::Executing;
+        self.incarnation = new_incarnation;
+        self.io_values.clear();
+        self.replay_split = false;
+    }
+
+    /// Whether a committing chunk's written lines conflict with this
+    /// chunk's accesses (exact-set address disambiguation).
+    pub(crate) fn conflicts_with(&self, committed_wlines: &HashSet<u64>) -> bool {
+        committed_wlines
+            .iter()
+            .any(|l| self.rlines.contains(l) || self.wlines.contains(l))
+    }
+
+    /// All lines this chunk accessed (for the arbiter's
+    /// parallel-commit disjointness check).
+    pub(crate) fn all_lines(&self) -> HashSet<u64> {
+        self.rlines.union(&self.wlines).copied().collect()
+    }
+}
+
+/// Per-core speculative dirty-line occupancy, per L1 set. A store that
+/// would push a set past the L1 associativity triggers overflow
+/// truncation (Section 4.2.3).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Occupancy {
+    /// line -> number of in-flight chunks with the line dirty.
+    refcount: HashMap<u64, u32>,
+    /// set -> distinct dirty lines.
+    per_set: HashMap<u32, u32>,
+}
+
+impl Occupancy {
+    /// Distinct speculative dirty lines currently in `set`.
+    pub(crate) fn set_count(&self, set: u32) -> u32 {
+        self.per_set.get(&set).copied().unwrap_or(0)
+    }
+
+    /// Whether `line` is already dirty in some in-flight chunk.
+    pub(crate) fn contains(&self, line: u64) -> bool {
+        self.refcount.contains_key(&line)
+    }
+
+    /// Registers a store to `line` by one chunk.
+    pub(crate) fn add(&mut self, line: u64, set: u32) {
+        let r = self.refcount.entry(line).or_insert(0);
+        *r += 1;
+        if *r == 1 {
+            *self.per_set.entry(set).or_insert(0) += 1;
+        }
+    }
+
+    /// Removes one chunk's dirty lines (commit or squash).
+    pub(crate) fn remove_chunk<'a>(
+        &mut self,
+        lines: impl Iterator<Item = &'a u64>,
+        set_of: impl Fn(u64) -> u32,
+    ) {
+        for &line in lines {
+            let r = self.refcount.get_mut(&line).expect("occupancy refcount underflow");
+            *r -= 1;
+            if *r == 0 {
+                self.refcount.remove(&line);
+                let set = set_of(line);
+                let c = self.per_set.get_mut(&set).expect("occupancy set underflow");
+                *c -= 1;
+                if *c == 0 {
+                    self.per_set.remove(&set);
+                }
+            }
+        }
+    }
+}
+
+/// The memory view a chunk executes against: its own write buffer over
+/// the buffers of older in-flight chunks on the same core, over
+/// committed memory. Loads collect the read set; stores go to the
+/// chunk's buffer only.
+pub(crate) struct SpecView<'a> {
+    pub committed: &'a Memory,
+    pub older: &'a [Chunk],
+    pub buffer: &'a mut HashMap<Addr, Word>,
+    pub wlines: &'a mut HashSet<u64>,
+    pub rlines: &'a mut HashSet<u64>,
+    pub rsig: &'a mut Signature,
+    pub wsig: &'a mut Signature,
+    /// Lines touched this instruction (engine drains for timing).
+    pub touched: Vec<(u64, bool)>,
+}
+
+impl DataMemory for SpecView<'_> {
+    fn load(&mut self, addr: Addr) -> Word {
+        let line = line_of(addr);
+        self.rsig.insert(line);
+        self.rlines.insert(line);
+        self.touched.push((line, false));
+        if let Some(&v) = self.buffer.get(&addr) {
+            return v;
+        }
+        for ch in self.older.iter().rev() {
+            if let Some(&v) = ch.buffer.get(&addr) {
+                return v;
+            }
+        }
+        self.committed.peek(addr % self.committed.len())
+    }
+
+    fn store(&mut self, addr: Addr, value: Word) {
+        let line = line_of(addr);
+        self.wsig.insert(line);
+        self.wlines.insert(line);
+        self.touched.push((line, true));
+        self.buffer.insert(addr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delorean_isa::layout::AddressMap;
+    use delorean_isa::Vm;
+
+    fn chunk(idx: u64) -> Chunk {
+        let map = AddressMap::new(1);
+        let vm = Vm::new(0, &map);
+        Chunk::new(idx, 100, vm.snapshot())
+    }
+
+    #[test]
+    fn spec_view_layering() {
+        let mem = Memory::new(64);
+        let mut older = chunk(1);
+        older.buffer.insert(5, 11);
+        let mut oldest = chunk(0);
+        oldest.buffer.insert(5, 10);
+        oldest.buffer.insert(6, 20);
+        let olders = vec![oldest, older];
+        let mut cur = chunk(2);
+        let mut view = SpecView {
+            committed: &mem,
+            older: &olders,
+            buffer: &mut cur.buffer,
+            wlines: &mut cur.wlines,
+            rlines: &mut cur.rlines,
+            rsig: &mut cur.rsig,
+            wsig: &mut cur.wsig,
+            touched: Vec::new(),
+        };
+        // Youngest older chunk wins.
+        assert_eq!(view.load(5), 11);
+        // Falls through to the oldest's buffer.
+        assert_eq!(view.load(6), 20);
+        // Committed memory (zero) when nobody buffered it.
+        assert_eq!(view.load(7), 0);
+        // Own store then read-own.
+        view.store(5, 99);
+        assert_eq!(view.load(5), 99);
+        assert_eq!(view.touched.len(), 5);
+    }
+
+    #[test]
+    fn conflict_uses_read_and_write_sets() {
+        let mut a = chunk(0);
+        a.rlines.insert(3);
+        let w: HashSet<u64> = [3].into_iter().collect();
+        assert!(a.conflicts_with(&w));
+        let mut b = chunk(1);
+        b.wlines.insert(4);
+        let w2: HashSet<u64> = [4].into_iter().collect();
+        assert!(b.conflicts_with(&w2));
+        assert!(!b.conflicts_with(&w));
+        assert!(b.all_lines().contains(&4));
+    }
+
+    #[test]
+    fn retry_clears_speculative_state_and_bumps_incarnation() {
+        let mut c = chunk(0);
+        c.buffer.insert(1, 2);
+        c.wlines.insert(0);
+        c.rlines.insert(7);
+        c.rsig.insert(0);
+        c.size = 50;
+        let inc = c.incarnation;
+        c.reset_for_retry(inc + 1);
+        assert!(c.buffer.is_empty());
+        assert!(c.wlines.is_empty());
+        assert!(c.rlines.is_empty());
+        assert!(c.rsig.is_empty());
+        assert_eq!(c.size, 0);
+        assert_eq!(c.incarnation, inc + 1);
+    }
+
+    #[test]
+    fn occupancy_counts_distinct_lines_per_set() {
+        let set_of = |line: u64| (line % 4) as u32;
+        let mut occ = Occupancy::default();
+        occ.add(0, set_of(0));
+        occ.add(4, set_of(4));
+        occ.add(4, set_of(4)); // second chunk, same line
+        assert_eq!(occ.set_count(0), 2);
+        assert!(occ.contains(4));
+        occ.remove_chunk([4u64].iter(), set_of);
+        assert_eq!(occ.set_count(0), 2, "line still dirty in the other chunk");
+        occ.remove_chunk([4u64].iter(), set_of);
+        assert_eq!(occ.set_count(0), 1);
+        occ.remove_chunk([0u64].iter(), set_of);
+        assert_eq!(occ.set_count(0), 0);
+        assert!(!occ.contains(0));
+    }
+}

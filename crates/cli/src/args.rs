@@ -1,0 +1,80 @@
+//! Minimal flag parsing: `--flag value` pairs and positionals.
+
+/// Parsed command-line arguments (after the subcommand).
+#[derive(Debug, Default)]
+pub struct Args {
+    /// Non-flag arguments, in order.
+    pub positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Splits `argv` into positionals and `--flag value` pairs.
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if a.starts_with('-') && a.len() > 1 {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag {a} needs a value"))?
+                    .clone();
+                args.flags.push((a.clone(), value));
+            } else {
+                args.positional.push(a.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// Last value of `flag`, if present.
+    pub fn get(&self, flag: &str) -> Option<String> {
+        self.flags.iter().rev().find(|(f, _)| f == flag).map(|(_, v)| v.clone())
+    }
+
+    /// All values of a repeatable flag.
+    pub fn get_all(&self, flag: &str) -> Vec<String> {
+        self.flags.iter().filter(|(f, _)| f == flag).map(|(_, v)| v.clone()).collect()
+    }
+
+    /// Numeric flag value.
+    pub fn num(&self, flag: &str) -> Result<Option<u64>, String> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("flag {flag} expects a number, got {v}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_flags_mix() {
+        let a = parse(&["file.dlrn", "--seed", "9", "--watch", "1", "--watch", "2"]);
+        assert_eq!(a.positional, vec!["file.dlrn"]);
+        assert_eq!(a.num("--seed").unwrap(), Some(9));
+        assert_eq!(a.get_all("--watch"), vec!["1", "2"]);
+        assert_eq!(a.get("--missing"), None);
+    }
+
+    #[test]
+    fn dangling_flag_is_an_error() {
+        let argv = vec!["--seed".to_string()];
+        assert!(Args::parse(&argv).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let a = parse(&["--seed", "zebra"]);
+        assert!(a.num("--seed").is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! `delorean` — record, replay and inspect executions from the command
+//! line, persisting recordings in the binary `.dlrn` format.
+//!
+//! ```text
+//! delorean list
+//! delorean record barnes -o run.dlrn --mode orderonly --procs 8 --budget 50000
+//! delorean info run.dlrn
+//! delorean replay run.dlrn --seed 99
+//! delorean replay run.dlrn --stratified 1
+//! delorean inspect run.dlrn --watch 0x30001 --limit 40
+//! ```
+
+use delorean::inspect::ReplayInspector;
+use delorean::{serialize, Machine, Mode, Recording};
+use delorean_chunk::Committer;
+use delorean_isa::workload;
+use std::process::ExitCode;
+
+mod args;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  delorean list
+  delorean record <workload> -o <file> [--mode ordersize|orderonly|picolog]
+                  [--procs N] [--budget N] [--chunk N] [--seed N] [--timing-seed N]
+  delorean info <file>
+  delorean replay <file> [--seed N] [--stratified MAX]
+  delorean inspect <file> [--watch ADDR]... [--limit N]";
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("missing command".to_string());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "record" => cmd_record(&args),
+        "info" => cmd_info(&args),
+        "replay" => cmd_replay(&args),
+        "inspect" => cmd_inspect(&args),
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<11} {:>6} {:>6} {:>6} {:>7}  kind", "workload", "mem%", "shared%", "write%", "locks");
+    for w in workload::catalog() {
+        println!(
+            "{:<11} {:>6.0} {:>7.0} {:>6.0} {:>7}  {:?}",
+            w.name,
+            w.mem_frac * 100.0,
+            w.shared_frac * 100.0,
+            w.write_frac * 100.0,
+            if w.lock_every == 0 { "-".to_string() } else { w.lock_count.to_string() },
+            w.kind
+        );
+    }
+    Ok(())
+}
+
+fn parse_mode(s: &str) -> Result<Mode, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "ordersize" | "order&size" | "os" => Ok(Mode::OrderSize),
+        "orderonly" | "oo" => Ok(Mode::OrderOnly),
+        "picolog" | "pl" => Ok(Mode::PicoLog),
+        other => Err(format!("unknown mode {other} (ordersize|orderonly|picolog)")),
+    }
+}
+
+fn machine_for(recording: &Recording) -> Machine {
+    Machine::builder()
+        .mode(recording.mode)
+        .procs(recording.n_procs)
+        .chunk_size(recording.chunk_size)
+        .budget(recording.budget)
+        .devices(recording.devices)
+        .build()
+}
+
+fn load(args: &Args) -> Result<Recording, String> {
+    let path = args.positional.first().ok_or("missing recording file")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serialize::from_bytes(&bytes).map_err(|e| format!("decoding {path}: {e}"))
+}
+
+fn cmd_record(args: &Args) -> Result<(), String> {
+    let name = args.positional.first().ok_or("missing workload name")?;
+    let w = workload::by_name(name)
+        .ok_or_else(|| format!("unknown workload {name} (try `delorean list`)"))?;
+    let out = args.get("-o").or_else(|| args.get("--out")).ok_or("missing -o <file>")?;
+    let mode = args.get("--mode").map(|s| parse_mode(&s)).transpose()?.unwrap_or(Mode::OrderOnly);
+    let mut b = Machine::builder();
+    b.mode(mode);
+    b.procs(args.num("--procs")?.unwrap_or(8) as u32);
+    b.budget(args.num("--budget")?.unwrap_or(50_000));
+    if let Some(c) = args.num("--chunk")? {
+        b.chunk_size(c as u32);
+    }
+    if let Some(t) = args.num("--timing-seed")? {
+        b.timing_seed(t);
+    }
+    let machine = b.build();
+    let seed = args.num("--seed")?.unwrap_or(2026);
+    let recording = machine.record(w, seed);
+    let bytes = serialize::to_bytes(&recording);
+    std::fs::write(&out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "recorded {name} ({mode}, {} procs, {} insts/proc) -> {out} ({} bytes)",
+        recording.n_procs,
+        recording.budget,
+        bytes.len()
+    );
+    println!(
+        "memory-ordering log: {:.3} compressed bits/proc/kilo-instruction, {} commits, {} squashes",
+        recording.compressed_bits_per_proc_per_kiloinst(),
+        recording.stats.total_commits,
+        recording.stats.squashes
+    );
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let r = load(args)?;
+    println!("mode        : {}", r.mode);
+    println!("workload    : {} (seed {})", r.workload.name, r.app_seed);
+    println!("processors  : {}", r.n_procs);
+    println!("chunk size  : {}", r.chunk_size);
+    println!("budget      : {} instructions/processor", r.budget);
+    println!("checkpoint  : {:#018x}", r.checkpoint.id());
+    let s = r.memory_ordering_sizes();
+    println!(
+        "PI log      : {} entries, {} bits raw / {} compressed",
+        r.logs.pi.len(),
+        s.pi.raw_bits,
+        s.pi.compressed_bits
+    );
+    println!(
+        "CS logs     : {} entries, {} bits raw",
+        r.logs.cs.iter().map(|l| l.len()).sum::<usize>(),
+        s.cs.raw_bits
+    );
+    println!(
+        "input logs  : {} interrupts, {} I/O values, {} DMA transfers",
+        r.stats.interrupts,
+        r.logs.io.iter().map(|l| l.len()).sum::<usize>(),
+        r.logs.dma.len()
+    );
+    println!(
+        "rate        : {:.3} compressed bits/proc/kilo-instruction ({:.2} GB/day @ 8x5GHz IPC1)",
+        r.compressed_bits_per_proc_per_kiloinst(),
+        r.gigabytes_per_day(5.0, 1.0)
+    );
+    println!("digest      : memory {:#018x}", r.digest().mem_hash);
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let r = load(args)?;
+    let machine = machine_for(&r);
+    let seed = args.num("--seed")?.unwrap_or(0x5a5a);
+    let report = if let Some(max) = args.num("--stratified")? {
+        machine
+            .replay_stratified(&r, max as u32, seed)
+            .map_err(|e| e.to_string())?
+    } else {
+        machine.replay_with_seed(&r, seed).map_err(|e| e.to_string())?
+    };
+    println!(
+        "replayed {} commits in {} cycles (recording took {})",
+        report.stats.total_commits, report.stats.cycles, r.stats.cycles
+    );
+    if report.deterministic {
+        println!("deterministic: yes — execution reproduced bit-exactly");
+        Ok(())
+    } else {
+        Err(format!("replay diverged: {}", report.divergence.unwrap_or_default()))
+    }
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let r = load(args)?;
+    let mut inspector = ReplayInspector::new(&r);
+    for w in args.get_all("--watch") {
+        let addr = parse_addr(&w)?;
+        inspector.watch(addr);
+    }
+    let limit = args.num("--limit")?.unwrap_or(u64::MAX);
+    let watching = !args.get_all("--watch").is_empty();
+    let mut printed = 0u64;
+    while let Some(ev) = inspector.step().map_err(|e| e.to_string())? {
+        let interesting = !watching || !ev.watch_hits.is_empty();
+        if interesting && printed < limit {
+            let who = match ev.committer {
+                Committer::Proc(p) => format!("P{p}"),
+                Committer::Dma => "DMA".to_string(),
+            };
+            print!("GCC {:>5}  {who:<4} chunk {:>4} size {:>5}", ev.gcc, ev.chunk_index, ev.size);
+            if ev.interrupt {
+                print!("  [interrupt]");
+            }
+            for h in &ev.watch_hits {
+                print!("  {:#x}: {:#x} -> {:#x}", h.addr, h.old, h.new);
+            }
+            println!();
+            printed += 1;
+        }
+    }
+    let report = {
+        let mut check = ReplayInspector::new(&r);
+        check.run_to_end().map_err(|e| e.to_string())?
+    };
+    println!(
+        "software replay of {} commits matches recording: {}",
+        report.commits, report.matches_recording
+    );
+    Ok(())
+}
+
+fn parse_addr(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("bad address {s}"))
+}

@@ -1,0 +1,241 @@
+//! A from-scratch sliding-window LZ77 codec.
+//!
+//! DeLorean's log buffers are compressed by LZ77 hardware; this module is
+//! the software model of that block. The format is a classic
+//! literal/match token stream:
+//!
+//! * `0` bit + 8-bit literal byte, or
+//! * `1` bit + `DIST_BITS`-bit backward distance (1-based) +
+//!   `LEN_BITS`-bit match length (stored as `len - MIN_MATCH`).
+//!
+//! Matching uses a hash-chain over 3-byte prefixes, greedy with a one-byte
+//! lazy check, which is close to what a small hardware window achieves.
+//!
+//! # Examples
+//!
+//! ```
+//! use delorean_compress::lz77;
+//! let data = b"abcabcabcabcabc";
+//! let packed = lz77::compress(data);
+//! assert_eq!(lz77::decompress(&packed).unwrap(), data);
+//! assert!(lz77::compressed_bits(data) < data.len() as u64 * 8);
+//! ```
+
+use crate::{BitReader, BitWriter};
+
+/// Sliding-window size in bytes (hardware-plausible 4 KiB).
+pub const WINDOW: usize = 4096;
+/// Bits used to encode a match distance.
+pub const DIST_BITS: u32 = 12;
+/// Bits used to encode a match length.
+pub const LEN_BITS: u32 = 8;
+/// Minimum match length worth encoding as a match token.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length (`MIN_MATCH + 2^LEN_BITS - 1`).
+pub const MAX_MATCH: usize = MIN_MATCH + (1 << LEN_BITS) - 1;
+
+const HASH_SIZE: usize = 1 << 13;
+const MAX_CHAIN: usize = 32;
+
+/// Error returned by [`decompress`] on a malformed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecompressError;
+
+impl core::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "malformed LZ77 stream")
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = u32::from(data[i])
+        .wrapping_mul(0x9e37)
+        .wrapping_add(u32::from(data[i + 1]).wrapping_mul(0x79b9))
+        .wrapping_add(u32::from(data[i + 2]).wrapping_mul(0x85eb));
+    (h as usize) & (HASH_SIZE - 1)
+}
+
+/// Compresses `data`, returning the bit-packed token stream prefixed by
+/// a 32-bit little-endian uncompressed length.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut w = BitWriter::new();
+    w.write_bits(data.len() as u64, 32);
+    compress_into(data, &mut w);
+    w.into_bytes()
+}
+
+/// Number of bits the compressed form of `data` occupies (excluding the
+/// 32-bit length header), the quantity used for log-size reporting.
+pub fn compressed_bits(data: &[u8]) -> u64 {
+    let mut w = BitWriter::new();
+    compress_into(data, &mut w);
+    w.bit_len()
+}
+
+fn compress_into(data: &[u8], w: &mut BitWriter) {
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; data.len()];
+    let mut i = 0usize;
+    while i < data.len() {
+        let (len, dist) = best_match(data, i, &head, &prev);
+        if len >= MIN_MATCH {
+            w.write_bit(true);
+            w.write_bits((dist - 1) as u64, DIST_BITS);
+            w.write_bits((len - MIN_MATCH) as u64, LEN_BITS);
+            // Insert all covered positions in the chain so later matches
+            // can reference them.
+            let end = (i + len).min(data.len());
+            let mut j = i;
+            while j < end && j + MIN_MATCH <= data.len() {
+                let h = hash3(data, j);
+                prev[j] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i += len;
+        } else {
+            w.write_bit(false);
+            w.write_bits(u64::from(data[i]), 8);
+            if i + MIN_MATCH <= data.len() {
+                let h = hash3(data, i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+}
+
+fn best_match(data: &[u8], i: usize, head: &[usize], prev: &[usize]) -> (usize, usize) {
+    if i + MIN_MATCH > data.len() {
+        return (0, 0);
+    }
+    let max_len = (data.len() - i).min(MAX_MATCH);
+    let mut best_len = 0usize;
+    let mut best_dist = 0usize;
+    let mut cand = head[hash3(data, i)];
+    let mut chain = 0usize;
+    while cand != usize::MAX && chain < MAX_CHAIN {
+        let dist = i - cand;
+        if dist > WINDOW {
+            break;
+        }
+        let mut l = 0usize;
+        while l < max_len && data[cand + l] == data[i + l] {
+            l += 1;
+        }
+        if l > best_len {
+            best_len = l;
+            best_dist = dist;
+            if l == max_len {
+                break;
+            }
+        }
+        cand = prev[cand];
+        chain += 1;
+    }
+    (best_len, best_dist)
+}
+
+/// Decompresses a stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`DecompressError`] if the stream is truncated or a match
+/// references data before the start of the output.
+pub fn decompress(packed: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut r = BitReader::new(packed);
+    let total = r.read_bits(32).ok_or(DecompressError)? as usize;
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let is_match = r.read_bit().ok_or(DecompressError)?;
+        if is_match {
+            let dist = r.read_bits(DIST_BITS).ok_or(DecompressError)? as usize + 1;
+            let len = r.read_bits(LEN_BITS).ok_or(DecompressError)? as usize + MIN_MATCH;
+            if dist > out.len() {
+                return Err(DecompressError);
+            }
+            let start = out.len() - dist;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+        } else {
+            let b = r.read_bits(8).ok_or(DecompressError)? as u8;
+            out.push(b);
+        }
+    }
+    out.truncate(total);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_round_trip() {
+        assert_eq!(decompress(&compress(&[])).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn literal_only_round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data = vec![7u8; 10_000];
+        let bits = compressed_bits(&data);
+        assert!(bits < 10_000 * 8 / 10, "got {bits} bits");
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_round_trip() {
+        // "aaaa..." forces dist=1 matches that overlap the output cursor.
+        let mut data = b"a".to_vec();
+        data.extend(std::iter::repeat(b'a').take(500));
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn pi_log_like_stream_compresses() {
+        // Round-robin-ish 4-bit processor IDs packed into bytes: the
+        // structure the PI log exhibits in steady state.
+        let mut data = Vec::new();
+        for i in 0..4096u32 {
+            data.push(((i % 8) | ((i + 1) % 8) << 4) as u8);
+        }
+        let bits = compressed_bits(&data);
+        assert!(bits < data.len() as u64 * 8 / 2);
+    }
+
+    #[test]
+    fn random_data_round_trips_and_does_not_explode() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        for len in [1usize, 2, 3, 64, 1000, 5000] {
+            let data: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let packed = compress(&data);
+            assert_eq!(decompress(&packed).unwrap(), data);
+            // Worst case adds the 1 flag bit per literal + header.
+            assert!(packed.len() <= data.len() + data.len() / 8 + 8);
+        }
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let data = b"hello hello hello hello".to_vec();
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed[..2]), Err(DecompressError));
+    }
+
+    #[test]
+    fn display_error() {
+        assert_eq!(DecompressError.to_string(), "malformed LZ77 stream");
+    }
+}

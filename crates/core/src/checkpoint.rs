@@ -1,0 +1,144 @@
+//! System checkpointing.
+//!
+//! The paper assumes an existing checkpointing substrate (ReVive or
+//! SafetyNet) and explicitly does not focus on it: a recorded interval
+//! starts at a system checkpoint, and replay restores that checkpoint
+//! before consuming the logs. In this reproduction every recording
+//! interval starts at the canonical initial state of the run (zeroed
+//! memory, reset register files, program entry points), so a checkpoint
+//! is the *description* of that state: the workload, its seed and the
+//! machine shape. The replayer restores it by reconstructing the same
+//! initial state, and [`SystemCheckpoint::id`] gives a content hash for
+//! integrity checks.
+
+use delorean_chunk::StartState;
+use delorean_isa::layout::AddressMap;
+use delorean_isa::workload::WorkloadSpec;
+use delorean_mem::Memory;
+
+/// The state description a recording interval starts from.
+///
+/// # Examples
+///
+/// ```
+/// use delorean::checkpoint::SystemCheckpoint;
+/// use delorean_isa::workload;
+/// let a = SystemCheckpoint::initial(workload::by_name("fft").unwrap(), 4, 7);
+/// let b = SystemCheckpoint::initial(workload::by_name("fft").unwrap(), 4, 7);
+/// assert_eq!(a.id(), b.id());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemCheckpoint {
+    /// Name of the workload whose programs define the initial PCs.
+    pub workload_name: String,
+    /// Processors in the machine.
+    pub n_procs: u32,
+    /// Program-generation seed.
+    pub app_seed: u64,
+    /// Content hash of the initial memory image.
+    pub initial_mem_hash: u64,
+}
+
+impl SystemCheckpoint {
+    /// Captures the initial state of a run.
+    pub fn initial(workload: &WorkloadSpec, n_procs: u32, app_seed: u64) -> Self {
+        let map = AddressMap::new(n_procs);
+        let mem = Memory::new(map.total_words());
+        Self {
+            workload_name: workload.name.to_string(),
+            n_procs,
+            app_seed,
+            initial_mem_hash: mem.content_hash(),
+        }
+    }
+
+    /// Content-derived identifier.
+    pub fn id(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |x: u64| h = (h ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+        for b in self.workload_name.bytes() {
+            fold(u64::from(b));
+        }
+        fold(u64::from(self.n_procs));
+        fold(self.app_seed);
+        fold(self.initial_mem_hash);
+        h
+    }
+
+    /// Whether a replaying machine can restore this checkpoint.
+    pub fn compatible_with(&self, workload: &WorkloadSpec, n_procs: u32, app_seed: u64) -> bool {
+        self.workload_name == workload.name && self.n_procs == n_procs && self.app_seed == app_seed
+    }
+}
+
+/// A *mid-execution* system checkpoint: the full architectural state at
+/// a Global Commit Count, from which a new recording interval can start
+/// (the paper's `I(n,m)` intervals over ReVive/SafetyNet checkpoints).
+///
+/// Captured with [`Recording::checkpoint_at`](crate::Recording::checkpoint_at)
+/// and consumed by [`Machine::record_interval`](crate::Machine::record_interval).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalCheckpoint {
+    /// The workload whose execution is checkpointed.
+    pub workload: WorkloadSpec,
+    /// Program-generation seed.
+    pub app_seed: u64,
+    /// Processors.
+    pub n_procs: u32,
+    /// Global Commit Count at the checkpoint.
+    pub gcc: u64,
+    /// Full architectural state (memory image, register files, chunk
+    /// counts).
+    pub state: StartState,
+}
+
+impl IntervalCheckpoint {
+    /// Largest per-processor retired-instruction count at the
+    /// checkpoint — the base for the follow-on interval's absolute
+    /// budget.
+    pub fn max_retired(&self) -> u64 {
+        self.state.vm_states.iter().map(|v| v.retired()).max().unwrap_or(0)
+    }
+
+    /// Content-derived identifier (covers the memory image and the
+    /// per-processor chunk counts).
+    pub fn id(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |x: u64| h = (h ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+        fold(self.gcc);
+        fold(self.app_seed);
+        fold(u64::from(self.n_procs));
+        for &w in &self.state.memory {
+            fold(w);
+        }
+        for c in &self.state.chunks_done {
+            fold(*c);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delorean_isa::workload;
+
+    #[test]
+    fn ids_distinguish_runs() {
+        let fft = workload::by_name("fft").unwrap();
+        let lu = workload::by_name("lu").unwrap();
+        let a = SystemCheckpoint::initial(fft, 4, 7);
+        assert_ne!(a.id(), SystemCheckpoint::initial(lu, 4, 7).id());
+        assert_ne!(a.id(), SystemCheckpoint::initial(fft, 8, 7).id());
+        assert_ne!(a.id(), SystemCheckpoint::initial(fft, 4, 8).id());
+    }
+
+    #[test]
+    fn compatibility_checks_shape() {
+        let fft = workload::by_name("fft").unwrap();
+        let ck = SystemCheckpoint::initial(fft, 4, 7);
+        assert!(ck.compatible_with(fft, 4, 7));
+        assert!(!ck.compatible_with(fft, 8, 7));
+        assert!(!ck.compatible_with(workload::by_name("lu").unwrap(), 4, 7));
+    }
+}

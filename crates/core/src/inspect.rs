@@ -1,0 +1,553 @@
+//! A software replayer and inspection harness over recordings.
+//!
+//! The paper motivates deterministic replay as a *debugging* substrate:
+//! re-create the captured interleaving and illuminate what brought the
+//! execution to a buggy state. This module provides exactly that
+//! workflow in software: [`ReplayInspector`] interprets a recording's
+//! logs directly — executing chunks serially, one commit at a time, in
+//! the recorded commit order — with:
+//!
+//! * **stepping**: one [`CommitEvent`] per chunk/DMA commit, carrying
+//!   the committer, chunk index and size;
+//! * **watchpoints**: get notified whenever a committed chunk writes a
+//!   watched address, with old and new values — "which chunk clobbered
+//!   this word?";
+//! * **state inspection**: read any memory word between commits.
+//!
+//! Because the inspector shares *no code* with the event-driven timing
+//! engine (`delorean-chunk`), running both against the same recording
+//! and comparing digests is an independent cross-validation of the
+//! replay semantics; [`ReplayInspector::run_to_end`] performs the
+//! comparison automatically.
+//!
+//! # Examples
+//!
+//! ```
+//! use delorean::{inspect::ReplayInspector, Machine, Mode};
+//! use delorean_isa::workload;
+//!
+//! let machine = Machine::builder().mode(Mode::OrderOnly).procs(2).budget(4_000).build();
+//! let recording = machine.record(workload::by_name("lu").unwrap(), 3);
+//! let mut inspector = ReplayInspector::new(&recording);
+//! let report = inspector.run_to_end().unwrap();
+//! assert!(report.matches_recording);
+//! ```
+
+use crate::machine::Recording;
+use crate::mode::Mode;
+use delorean_chunk::Committer;
+use delorean_isa::layout::AddressMap;
+use delorean_isa::{Addr, DataMemory, IoBus, Program, StepKind, Vm, Word};
+use delorean_mem::Memory;
+use std::collections::HashSet;
+
+/// A write to a watched address, observed at commit granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchHit {
+    /// The watched address.
+    pub addr: Addr,
+    /// Value before the chunk.
+    pub old: Word,
+    /// Value after the chunk.
+    pub new: Word,
+}
+
+/// One replayed commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitEvent {
+    /// Global commit count after this commit (1-based).
+    pub gcc: u64,
+    /// Who committed.
+    pub committer: Committer,
+    /// Per-processor logical chunk index (0 for DMA).
+    pub chunk_index: u64,
+    /// Instructions in the chunk (0 for DMA).
+    pub size: u32,
+    /// Whether an interrupt was delivered at this chunk's start.
+    pub interrupt: bool,
+    /// Writes to watched addresses whose value changed.
+    pub watch_hits: Vec<WatchHit>,
+}
+
+/// Why inspection failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InspectError {
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl core::fmt::Display for InspectError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "inspection failed: {}", self.detail)
+    }
+}
+
+impl std::error::Error for InspectError {}
+
+/// Result of replaying a recording to completion in software.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InspectReport {
+    /// Commits replayed (processors + DMA).
+    pub commits: u64,
+    /// Whether the software replay's final state matches the
+    /// recording's digest (memory hash, per-processor stream hashes,
+    /// retired counts, chunk counts).
+    pub matches_recording: bool,
+    /// First mismatch description, when not matching.
+    pub mismatch: Option<String>,
+}
+
+/// Memory wrapper that tracks watched addresses during one chunk.
+struct WatchMem<'a> {
+    mem: &'a mut Memory,
+    watches: &'a HashSet<Addr>,
+    hits: Vec<(Addr, Word)>, // (addr, old) for first write in this chunk
+}
+
+impl DataMemory for WatchMem<'_> {
+    fn load(&mut self, addr: Addr) -> Word {
+        self.mem.load(addr)
+    }
+    fn store(&mut self, addr: Addr, value: Word) {
+        if self.watches.contains(&addr) && !self.hits.iter().any(|&(a, _)| a == addr) {
+            self.hits.push((addr, self.mem.peek(addr)));
+        }
+        self.mem.store(addr, value);
+    }
+}
+
+/// I/O bus that feeds logged values back.
+struct LogIo<'a> {
+    recording: &'a Recording,
+    core: usize,
+    chunk_index: u64,
+    seq: u32,
+    missing: bool,
+}
+
+impl IoBus for LogIo<'_> {
+    fn io_load(&mut self, _port: u16) -> Word {
+        let v = self.recording.logs.io[self.core].value(self.chunk_index, self.seq);
+        self.seq += 1;
+        match v {
+            Some(v) => v,
+            None => {
+                self.missing = true;
+                0
+            }
+        }
+    }
+    fn io_store(&mut self, _port: u16, _value: Word) {}
+}
+
+/// Serial, software-only replayer over a recording's logs.
+#[derive(Debug)]
+pub struct ReplayInspector<'r> {
+    recording: &'r Recording,
+    memory: Memory,
+    vms: Vec<Vm>,
+    programs: Vec<Program>,
+    chunks_done: Vec<u64>,
+    pi_cursor: usize,
+    rr_cursor: u32,
+    dma_cursor: usize,
+    dma_slot_cursor: usize,
+    gcc: u64,
+    watches: HashSet<Addr>,
+    done: bool,
+}
+
+impl<'r> ReplayInspector<'r> {
+    /// Builds an inspector positioned at the recording's starting
+    /// checkpoint (the initial state, or the interval checkpoint for
+    /// recordings made with
+    /// [`Machine::record_interval`](crate::Machine::record_interval)).
+    pub fn new(recording: &'r Recording) -> Self {
+        let map = AddressMap::new(recording.n_procs);
+        let programs =
+            recording.workload.programs(recording.n_procs, &map, recording.app_seed);
+        let mut vms: Vec<Vm> = (0..recording.n_procs)
+            .map(|t| {
+                let mut vm = Vm::new(t, &map);
+                vm.set_pc(programs[t as usize].entry());
+                vm
+            })
+            .collect();
+        let mut memory = Memory::new(map.total_words());
+        let mut chunks_done = vec![0; recording.n_procs as usize];
+        if let Some(start) = &recording.interval {
+            memory = Memory::from_image(start.memory.clone());
+            for (vm, st) in vms.iter_mut().zip(&start.vm_states) {
+                vm.restore(st);
+            }
+            chunks_done.copy_from_slice(&start.chunks_done);
+        }
+        Self {
+            recording,
+            memory,
+            vms,
+            programs,
+            chunks_done,
+            pi_cursor: 0,
+            rr_cursor: 0,
+            dma_cursor: 0,
+            dma_slot_cursor: 0,
+            gcc: 0,
+            watches: HashSet::new(),
+            done: false,
+        }
+    }
+
+    /// Captures the full architectural state at the current replay
+    /// point as an engine-consumable start state.
+    pub fn capture(&self) -> delorean_chunk::StartState {
+        delorean_chunk::StartState {
+            memory: self.memory.image(),
+            vm_states: self.vms.iter().map(|v| v.snapshot()).collect(),
+            chunks_done: self.chunks_done.clone(),
+        }
+    }
+
+    /// Watches a word address; subsequent commits report value changes
+    /// to it.
+    pub fn watch(&mut self, addr: Addr) {
+        self.watches.insert(addr);
+    }
+
+    /// Stops watching an address.
+    pub fn unwatch(&mut self, addr: Addr) {
+        self.watches.remove(&addr);
+    }
+
+    /// Reads a memory word at the current replay point.
+    pub fn memory(&self, addr: Addr) -> Word {
+        self.memory.peek(addr)
+    }
+
+    /// Global commit count reached so far.
+    pub fn gcc(&self) -> u64 {
+        self.gcc
+    }
+
+    /// Retired instructions of processor `p` at the current point.
+    pub fn retired(&self, p: u32) -> u64 {
+        self.vms[p as usize].retired()
+    }
+
+    fn finished(&self, p: usize) -> bool {
+        self.vms[p].retired() >= self.recording.budget || self.vms[p].halted()
+    }
+
+    fn next_committer(&self) -> Result<Option<Committer>, InspectError> {
+        match self.recording.mode {
+            Mode::OrderSize | Mode::OrderOnly => {
+                Ok(self.recording.logs.pi.get(self.pi_cursor))
+            }
+            Mode::PicoLog => {
+                if let Some(slot) = self.recording.logs.dma.slot(self.dma_slot_cursor) {
+                    if slot == self.gcc {
+                        return Ok(Some(Committer::Dma));
+                    }
+                }
+                let n = self.recording.n_procs;
+                let mut cur = self.rr_cursor % n;
+                for _ in 0..n {
+                    if !self.finished(cur as usize) {
+                        return Ok(Some(Committer::Proc(cur)));
+                    }
+                    cur = (cur + 1) % n;
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Replays one commit; returns `None` when the recording is fully
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InspectError`] when the logs are inconsistent with the
+    /// execution (e.g. a PI entry for a processor that already retired
+    /// its budget, or a missing I/O-log value).
+    pub fn step(&mut self) -> Result<Option<CommitEvent>, InspectError> {
+        if self.done {
+            return Ok(None);
+        }
+        let Some(committer) = self.next_committer()? else {
+            self.done = true;
+            return Ok(None);
+        };
+        match committer {
+            Committer::Dma => {
+                let Some(data) = self.recording.logs.dma.transfer(self.dma_cursor) else {
+                    return Err(InspectError { detail: "DMA log exhausted".to_string() });
+                };
+                let mut hits = Vec::new();
+                for &(addr, value) in data {
+                    if self.watches.contains(&addr) {
+                        let old = self.memory.peek(addr);
+                        if old != value {
+                            hits.push(WatchHit { addr, old, new: value });
+                        }
+                    }
+                    self.memory.store(addr, value);
+                }
+                self.dma_cursor += 1;
+                if self.recording.mode == Mode::PicoLog {
+                    self.dma_slot_cursor += 1;
+                } else {
+                    self.pi_cursor += 1; // the DMA's PI entry
+                }
+                self.gcc += 1;
+                Ok(Some(CommitEvent {
+                    gcc: self.gcc,
+                    committer,
+                    chunk_index: 0,
+                    size: 0,
+                    interrupt: false,
+                    watch_hits: hits,
+                }))
+            }
+            Committer::Proc(p) => {
+                let event = self.execute_chunk(p)?;
+                if self.recording.mode != Mode::PicoLog {
+                    self.pi_cursor += 1;
+                } else {
+                    self.rr_cursor = (p + 1) % self.recording.n_procs;
+                }
+                Ok(Some(event))
+            }
+        }
+    }
+
+    /// Executes processor `p`'s next logical chunk serially, matching
+    /// the engine's chunking rules exactly.
+    fn execute_chunk(&mut self, p: u32) -> Result<CommitEvent, InspectError> {
+        let pi = p as usize;
+        if self.finished(pi) {
+            return Err(InspectError {
+                detail: format!(
+                    "commit order names processor {p} after it retired its budget"
+                ),
+            });
+        }
+        let index = self.chunks_done[pi] + 1;
+        let vm = &mut self.vms[pi];
+        let program = &self.programs[pi];
+        let budget = self.recording.budget;
+        let target = self.recording.logs.cs[pi]
+            .forced_size(index)
+            .unwrap_or(self.recording.chunk_size);
+        let interrupt = self.recording.logs.interrupts[pi].at_chunk(index);
+        if let Some((_vector, payload)) = interrupt {
+            if vm.in_handler() {
+                return Err(InspectError {
+                    detail: format!("interrupt log targets chunk {index} inside a handler"),
+                });
+            }
+            vm.deliver_interrupt(program, payload);
+        }
+        let mut io = LogIo {
+            recording: self.recording,
+            core: pi,
+            chunk_index: index,
+            seq: 0,
+            missing: false,
+        };
+        let mut mem =
+            WatchMem { mem: &mut self.memory, watches: &self.watches, hits: Vec::new() };
+        let mut size = 0u32;
+        loop {
+            if size >= target {
+                break;
+            }
+            if vm.retired() >= budget || vm.halted() {
+                break;
+            }
+            let Some(&inst) = vm.peek(program) else { break };
+            if inst.is_uncached() && size > 0 {
+                break;
+            }
+            let info = vm.step(program, &mut mem, &mut io);
+            size += 1;
+            if info.kind == StepKind::Uncached {
+                break; // solo uncached chunk
+            }
+        }
+        if io.missing {
+            return Err(InspectError {
+                detail: format!("I/O log has no value for processor {p}, chunk {index}"),
+            });
+        }
+        let hits = std::mem::take(&mut mem.hits);
+        drop(mem);
+        let watch_hits = hits
+            .into_iter()
+            .map(|(addr, old)| WatchHit { addr, old, new: self.memory.peek(addr) })
+            .filter(|h| h.old != h.new)
+            .collect();
+        self.chunks_done[pi] = index;
+        self.gcc += 1;
+        Ok(CommitEvent {
+            gcc: self.gcc,
+            committer: Committer::Proc(p),
+            chunk_index: index,
+            size,
+            interrupt: interrupt.is_some(),
+            watch_hits,
+        })
+    }
+
+    /// Replays to the end of the recording and compares the final state
+    /// against the recording's digest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any log inconsistency found while stepping.
+    pub fn run_to_end(&mut self) -> Result<InspectReport, InspectError> {
+        let mut commits = self.gcc;
+        while let Some(ev) = self.step()? {
+            commits = ev.gcc;
+        }
+        let digest = &self.recording.stats.digest;
+        let mut mismatch = None;
+        if self.memory.content_hash() != digest.mem_hash {
+            mismatch = Some("final memory differs".to_string());
+        }
+        for (i, vm) in self.vms.iter().enumerate() {
+            if vm.stream_hash() != digest.stream_hashes[i] {
+                mismatch
+                    .get_or_insert_with(|| format!("instruction stream of processor {i} differs"));
+            }
+            if vm.retired() != digest.retired[i] {
+                mismatch.get_or_insert_with(|| format!("retired count of processor {i} differs"));
+            }
+        }
+        if self.chunks_done != digest.committed_chunks {
+            mismatch.get_or_insert_with(|| "chunk counts differ".to_string());
+        }
+        Ok(InspectReport { commits, matches_recording: mismatch.is_none(), mismatch })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+    use delorean_isa::workload;
+
+    fn recording(mode: Mode, app: &str) -> (Machine, Recording) {
+        let m = Machine::builder().mode(mode).procs(4).budget(8_000).build();
+        let r = m.record(workload::by_name(app).unwrap(), 17);
+        (m, r)
+    }
+
+    #[test]
+    fn software_replay_matches_engine_digest_all_modes() {
+        for (mode, app) in
+            [(Mode::OrderOnly, "barnes"), (Mode::OrderSize, "radix"), (Mode::PicoLog, "fft")]
+        {
+            let (_, rec) = recording(mode, app);
+            let report = ReplayInspector::new(&rec).run_to_end().unwrap();
+            assert!(
+                report.matches_recording,
+                "{mode} software replay diverged: {:?}",
+                report.mismatch
+            );
+            assert!(report.commits > 0);
+        }
+    }
+
+    #[test]
+    fn software_replay_handles_full_system_recordings() {
+        let m = Machine::builder()
+            .mode(Mode::OrderOnly)
+            .procs(4)
+            .budget(12_000)
+            .devices(delorean_chunk::DeviceConfig {
+                irq_period: 6_000,
+                dma_period: 9_000,
+                dma_words: 16,
+            })
+            .build();
+        let rec = m.record(workload::by_name("sjbb2k").unwrap(), 17);
+        assert!(rec.stats.interrupts > 0 && rec.stats.dma_commits > 0);
+        let report = ReplayInspector::new(&rec).run_to_end().unwrap();
+        assert!(report.matches_recording, "{:?}", report.mismatch);
+    }
+
+    #[test]
+    fn stepping_reports_commit_sequence() {
+        let (_, rec) = recording(Mode::OrderOnly, "lu");
+        let mut ins = ReplayInspector::new(&rec);
+        let mut count = 0u64;
+        while let Some(ev) = ins.step().unwrap() {
+            count += 1;
+            assert_eq!(ev.gcc, count);
+            if let Committer::Proc(p) = ev.committer {
+                assert!(p < 4);
+                assert!(ev.size > 0);
+            }
+        }
+        assert_eq!(count, rec.logs.pi.len() as u64);
+    }
+
+    #[test]
+    fn watchpoints_attribute_writes_to_commits() {
+        let (_, rec) = recording(Mode::OrderOnly, "raytrace");
+        let map = delorean_isa::layout::AddressMap::new(4);
+        // Watch the contended lock word and its data word.
+        let lock = map.lock_addr(0);
+        let mut ins = ReplayInspector::new(&rec);
+        ins.watch(lock);
+        ins.watch(lock + 1);
+        let mut hits = 0usize;
+        while let Some(ev) = ins.step().unwrap() {
+            hits += ev.watch_hits.len();
+            for h in &ev.watch_hits {
+                assert!(h.addr == lock || h.addr == lock + 1);
+                assert_ne!(h.old, h.new);
+            }
+        }
+        assert!(hits > 0, "contended lock must be written at some commit");
+    }
+
+    #[test]
+    fn memory_inspection_mid_replay() {
+        let (_, rec) = recording(Mode::OrderOnly, "barnes");
+        let map = delorean_isa::layout::AddressMap::new(4);
+        let mut ins = ReplayInspector::new(&rec);
+        assert_eq!(ins.memory(map.shared_base()), 0, "initial state");
+        // Half the commits in.
+        let half = rec.logs.pi.len() / 2;
+        for _ in 0..half {
+            ins.step().unwrap().expect("log has entries left");
+        }
+        assert_eq!(ins.gcc(), half as u64);
+        let _mid_value = ins.memory(map.shared_base());
+        let report = ins.run_to_end().unwrap();
+        assert!(report.matches_recording);
+    }
+
+    #[test]
+    fn corrupted_log_is_reported_not_looped() {
+        let (_, mut rec) = recording(Mode::OrderOnly, "lu");
+        // Append a bogus PI entry: one commit too many for core 0.
+        rec.logs.pi.push(Committer::Proc(0));
+        let mut ins = ReplayInspector::new(&rec);
+        let mut err = None;
+        loop {
+            match ins.step() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = err.expect("bogus entry must be detected");
+        assert!(err.to_string().contains("after it retired"), "{err}");
+    }
+}

@@ -1,0 +1,256 @@
+//! Input logs: Interrupt, I/O and DMA (Section 3.3).
+//!
+//! These capture the nondeterministic *inputs* to the execution; they
+//! are "less critical" than the memory-ordering log (the paper cites
+//! RTR for this) and handled similarly by all schemes, but a working
+//! replayer cannot exist without them.
+
+use delorean_compress::{BitWriter, LogSize};
+use delorean_isa::{Addr, Word};
+
+/// One interrupt delivery: the handler starts the given chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptEntry {
+    /// Per-processor logical chunk index whose start delivers the
+    /// interrupt.
+    pub chunk_index: u64,
+    /// Interrupt vector ("type" in the paper).
+    pub vector: u16,
+    /// Interrupt payload ("data").
+    pub payload: Word,
+}
+
+/// A processor's Interrupt log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InterruptLog {
+    entries: Vec<InterruptEntry>,
+}
+
+impl InterruptLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a delivery (chunk indices must be non-decreasing).
+    pub fn push(&mut self, e: InterruptEntry) {
+        if let Some(last) = self.entries.last() {
+            assert!(last.chunk_index <= e.chunk_index, "interrupt log out of order");
+        }
+        self.entries.push(e);
+    }
+
+    /// The interrupt delivered at chunk `index`, if any.
+    pub fn at_chunk(&self, index: u64) -> Option<(u16, Word)> {
+        self.entries
+            .iter()
+            .find(|e| e.chunk_index == index)
+            .map(|e| (e.vector, e.payload))
+    }
+
+    /// All deliveries.
+    pub fn entries(&self) -> &[InterruptEntry] {
+        &self.entries
+    }
+
+    /// Number of deliveries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no interrupt was delivered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Measured size: 32-bit chunk-index delta + 8-bit vector + 64-bit
+    /// payload per entry.
+    pub fn measure(&self) -> LogSize {
+        let mut w = BitWriter::new();
+        let mut last = 0u64;
+        for e in &self.entries {
+            w.write_bits((e.chunk_index - last).min(u32::MAX as u64), 32);
+            last = e.chunk_index;
+            w.write_bits(u64::from(e.vector) & 0xff, 8);
+            w.write_bits(e.payload, 64);
+        }
+        let bits = w.bit_len();
+        LogSize::from_bits(&w.into_bytes(), bits)
+    }
+}
+
+/// One chunk's uncached-load values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoEntry {
+    /// Per-processor logical chunk index.
+    pub chunk_index: u64,
+    /// `(port, value)` for each I/O load the chunk performed, in
+    /// order.
+    pub values: Vec<(u16, Word)>,
+}
+
+/// A processor's I/O log: values obtained by its uncached I/O loads.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoLog {
+    entries: Vec<IoEntry>,
+}
+
+impl IoLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one chunk's values.
+    pub fn push(&mut self, e: IoEntry) {
+        self.entries.push(e);
+    }
+
+    /// The `seq`-th I/O-load value of chunk `index`.
+    pub fn value(&self, index: u64, seq: u32) -> Option<Word> {
+        self.entries
+            .iter()
+            .find(|e| e.chunk_index == index)
+            .and_then(|e| e.values.get(seq as usize))
+            .map(|&(_, v)| v)
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[IoEntry] {
+        &self.entries
+    }
+
+    /// Total I/O-load values stored.
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(|e| e.values.len()).sum()
+    }
+
+    /// Whether no value was logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Measured size: 64-bit value per I/O load plus a 32-bit chunk
+    /// header per chunk with I/O.
+    pub fn measure(&self) -> LogSize {
+        let mut w = BitWriter::new();
+        for e in &self.entries {
+            w.write_bits(e.chunk_index.min(u32::MAX as u64), 32);
+            for &(_, v) in &e.values {
+                w.write_bits(v, 64);
+            }
+        }
+        let bits = w.bit_len();
+        LogSize::from_bits(&w.into_bytes(), bits)
+    }
+}
+
+/// The machine-wide DMA log: the data each DMA transfer wrote, plus —
+/// in PicoLog mode, which has no PI log — the "commit slot" (global
+/// commit count) at which each transfer committed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DmaLog {
+    transfers: Vec<Vec<(Addr, Word)>>,
+    slots: Vec<u64>,
+}
+
+impl DmaLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a transfer's data (all modes).
+    pub fn push_transfer(&mut self, data: Vec<(Addr, Word)>) {
+        self.transfers.push(data);
+    }
+
+    /// Appends a commit slot (PicoLog only).
+    pub fn push_slot(&mut self, slot: u64) {
+        self.slots.push(slot);
+    }
+
+    /// The `i`-th transfer's data.
+    pub fn transfer(&self, i: usize) -> Option<&[(Addr, Word)]> {
+        self.transfers.get(i).map(Vec::as_slice)
+    }
+
+    /// The `i`-th commit slot (PicoLog).
+    pub fn slot(&self, i: usize) -> Option<u64> {
+        self.slots.get(i).copied()
+    }
+
+    /// Number of transfers.
+    pub fn len(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Whether no DMA occurred.
+    pub fn is_empty(&self) -> bool {
+        self.transfers.is_empty()
+    }
+
+    /// Measured size: address + data words plus slots.
+    pub fn measure(&self) -> LogSize {
+        let mut w = BitWriter::new();
+        for t in &self.transfers {
+            w.write_bits(t.len() as u64, 16);
+            for &(a, v) in t {
+                w.write_bits(a, 40);
+                w.write_bits(v, 64);
+            }
+        }
+        for &s in &self.slots {
+            w.write_bits(s.min((1 << 40) - 1), 40);
+        }
+        let bits = w.bit_len();
+        LogSize::from_bits(&w.into_bytes(), bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interrupt_lookup_by_chunk() {
+        let mut log = InterruptLog::new();
+        log.push(InterruptEntry { chunk_index: 4, vector: 1, payload: 0xab });
+        log.push(InterruptEntry { chunk_index: 9, vector: 2, payload: 0xcd });
+        assert_eq!(log.at_chunk(4), Some((1, 0xab)));
+        assert_eq!(log.at_chunk(5), None);
+        assert_eq!(log.len(), 2);
+        assert!(log.measure().raw_bits >= 2 * (32 + 8 + 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn interrupt_log_enforces_order() {
+        let mut log = InterruptLog::new();
+        log.push(InterruptEntry { chunk_index: 9, vector: 0, payload: 0 });
+        log.push(InterruptEntry { chunk_index: 4, vector: 0, payload: 0 });
+    }
+
+    #[test]
+    fn io_values_are_sequence_addressable() {
+        let mut log = IoLog::new();
+        log.push(IoEntry { chunk_index: 7, values: vec![(0, 100), (1, 200)] });
+        assert_eq!(log.value(7, 0), Some(100));
+        assert_eq!(log.value(7, 1), Some(200));
+        assert_eq!(log.value(7, 2), None);
+        assert_eq!(log.value(8, 0), None);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn dma_round_trip() {
+        let mut log = DmaLog::new();
+        log.push_transfer(vec![(100, 1), (101, 2)]);
+        log.push_slot(55);
+        assert_eq!(log.transfer(0).unwrap().len(), 2);
+        assert_eq!(log.slot(0), Some(55));
+        assert_eq!(log.transfer(1), None);
+        assert!(!log.is_empty());
+        assert!(log.measure().raw_bits > 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! DeLorean's logs: the memory-ordering log (PI + CS) and the input
+//! logs (Interrupt, I/O, DMA).
+//!
+//! The PI and CS logs replace the Memory Races Log of FDR/RTR and the
+//! Strata log (Section 3.3); the input logs are similar to previous
+//! replay schemes'. Entry formats follow Table 3 / Table 5 of the
+//! paper, and every log measures both its raw and LZ77-compressed size.
+
+mod cs;
+mod input;
+mod pi;
+
+pub use cs::{CsEntry, CsLog};
+pub use input::{DmaLog, InterruptEntry, InterruptLog, IoEntry, IoLog};
+pub use pi::PiLog;
+
+use delorean_compress::LogSize;
+
+/// Sizes of the memory-ordering log components for one recording.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryOrderingSizes {
+    /// Processor-interleaving log.
+    pub pi: LogSize,
+    /// Sum of the per-processor chunk-size logs.
+    pub cs: LogSize,
+}
+
+impl MemoryOrderingSizes {
+    /// Combined PI + CS size.
+    pub fn total(&self) -> LogSize {
+        self.pi.combined(self.cs)
+    }
+}

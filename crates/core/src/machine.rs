@@ -1,0 +1,575 @@
+//! The top-level record/replay API.
+
+use crate::checkpoint::{IntervalCheckpoint, SystemCheckpoint};
+use crate::error::ReplayError;
+use crate::log::MemoryOrderingSizes;
+use crate::mode::Mode;
+use crate::recorder::{LogSet, Recorder};
+use crate::replayer::Replayer;
+use crate::stratify::{StratifiedPiLog, Stratifier};
+use delorean_chunk::{
+    run, run_from, Committer, DeviceConfig, EngineConfig, RunStats, StartState, StateDigest,
+};
+use delorean_isa::workload::{WorkloadKind, WorkloadSpec};
+use delorean_sim::RunSpec;
+
+/// A complete DeLorean recording: the memory-ordering log (PI + CS),
+/// the input logs, the starting checkpoint and the recorded run's
+/// statistics (whose digest is the determinism reference).
+#[derive(Debug, Clone)]
+pub struct Recording {
+    /// Mode the recording was made in.
+    pub mode: Mode,
+    /// Processors.
+    pub n_procs: u32,
+    /// Standard (or maximum) chunk size used.
+    pub chunk_size: u32,
+    /// Retired-instruction budget per processor.
+    pub budget: u64,
+    /// The recorded application.
+    pub workload: WorkloadSpec,
+    /// Program-generation seed.
+    pub app_seed: u64,
+    /// Device activity during the recording.
+    pub devices: DeviceConfig,
+    /// The checkpoint the interval starts from.
+    pub checkpoint: SystemCheckpoint,
+    /// For interval recordings: the mid-execution architectural state
+    /// the interval began at (`None` for whole-execution recordings).
+    pub interval: Option<StartState>,
+    /// All logs.
+    pub logs: LogSet,
+    /// Statistics of the initial execution (incl. the digest).
+    pub stats: RunStats,
+}
+
+impl Recording {
+    /// The determinism reference: final memory hash, per-processor
+    /// stream hashes, retired counts and chunk counts.
+    pub fn digest(&self) -> &StateDigest {
+        &self.stats.digest
+    }
+
+    /// Total instructions retired machine-wide.
+    pub fn total_instructions(&self) -> u64 {
+        self.stats.digest.retired.iter().sum()
+    }
+
+    /// Measured sizes of the memory-ordering log.
+    pub fn memory_ordering_sizes(&self) -> MemoryOrderingSizes {
+        let cs = self
+            .logs
+            .cs
+            .iter()
+            .map(|l| l.measure())
+            .fold(delorean_compress::LogSize::default(), |a, b| a.combined(b));
+        MemoryOrderingSizes { pi: self.logs.pi.measure(), cs }
+    }
+
+    /// Compressed memory-ordering log size in the paper's unit, bits
+    /// per processor per kilo-instruction.
+    pub fn compressed_bits_per_proc_per_kiloinst(&self) -> f64 {
+        self.memory_ordering_sizes()
+            .total()
+            .compressed_bits_per_proc_per_kiloinst(self.total_instructions(), self.n_procs)
+    }
+
+    /// Estimated compressed log production in GB/day at the given clock
+    /// and IPC (Section 6.1's "20 GB per day" metric).
+    pub fn gigabytes_per_day(&self, ghz: f64, ipc: f64) -> f64 {
+        self.memory_ordering_sizes().total().gigabytes_per_day(
+            self.total_instructions(),
+            self.n_procs,
+            ghz,
+            ipc,
+        )
+    }
+
+    /// Stratifies the PI log post hoc with the given
+    /// chunks-per-processor-per-stratum capacity (Section 4.3 /
+    /// Figure 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics for PicoLog recordings, which have no PI log.
+    pub fn stratified_pi(&self, max_per_stratum: u32) -> StratifiedPiLog {
+        assert!(self.mode.has_pi_log(), "PicoLog has no PI log to stratify");
+        let mut s = Stratifier::new(self.n_procs + 1, max_per_stratum);
+        for ((entry, lines), writes) in self
+            .logs
+            .pi
+            .iter()
+            .zip(&self.logs.pi_footprints)
+            .zip(&self.logs.pi_write_footprints)
+        {
+            let col = match entry {
+                Committer::Proc(p) => p as usize,
+                Committer::Dma => self.n_procs as usize,
+            };
+            s.observe(col, lines, writes);
+        }
+        s.finish()
+    }
+
+    fn run_spec(&self) -> RunSpec {
+        RunSpec::new(self.workload.clone(), self.n_procs, self.app_seed, self.budget)
+    }
+
+    /// Replays the recording in software up to Global Commit Count
+    /// `gcc` and captures a system checkpoint there, from which a new
+    /// recording interval can start (the paper's `I(n,m)` machinery).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReplayError`] if `gcc` exceeds the recording's
+    /// commit count or the logs are inconsistent.
+    pub fn checkpoint_at(&self, gcc: u64) -> Result<IntervalCheckpoint, ReplayError> {
+        let mut inspector = crate::inspect::ReplayInspector::new(self);
+        while inspector.gcc() < gcc {
+            match inspector.step() {
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    return Err(ReplayError::Diverged {
+                        detail: format!(
+                            "recording has only {} commits, cannot checkpoint at {gcc}",
+                            inspector.gcc()
+                        ),
+                    })
+                }
+                Err(e) => return Err(ReplayError::Diverged { detail: e.to_string() }),
+            }
+        }
+        Ok(IntervalCheckpoint {
+            workload: self.workload.clone(),
+            app_seed: self.app_seed,
+            n_procs: self.n_procs,
+            gcc,
+            state: inspector.capture(),
+        })
+    }
+}
+
+/// Outcome of a replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Statistics of the replayed execution.
+    pub stats: RunStats,
+    /// Whether the replay reproduced the recording exactly (digest
+    /// equality).
+    pub deterministic: bool,
+    /// First divergence detected, if any.
+    pub divergence: Option<String>,
+}
+
+/// A DeLorean machine configuration; records and replays workloads.
+///
+/// # Examples
+///
+/// ```
+/// use delorean::{Machine, Mode};
+/// let m = Machine::builder().mode(Mode::PicoLog).procs(4).budget(4_000).build();
+/// assert_eq!(m.chunk_size(), 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    mode: Mode,
+    n_procs: u32,
+    chunk_size: u32,
+    budget: u64,
+    devices: Option<DeviceConfig>,
+    timing_seed: u64,
+    overflow_noise: f64,
+    simultaneous_chunks: Option<u32>,
+}
+
+impl Machine {
+    /// Starts building a machine (defaults: OrderOnly, 8 processors,
+    /// the mode's Table-5 chunk size, 50k instructions per processor).
+    pub fn builder() -> MachineBuilder {
+        MachineBuilder::default()
+    }
+
+    /// The machine's execution mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Processors.
+    pub fn procs(&self) -> u32 {
+        self.n_procs
+    }
+
+    /// Standard (or maximum) chunk size.
+    pub fn chunk_size(&self) -> u32 {
+        self.chunk_size
+    }
+
+    /// Per-processor instruction budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    fn device_config(&self, workload: &WorkloadSpec) -> DeviceConfig {
+        self.devices.unwrap_or(match workload.kind {
+            WorkloadKind::Splash => DeviceConfig::none(),
+            WorkloadKind::Commercial => DeviceConfig::commercial(),
+        })
+    }
+
+    /// The engine configuration used when recording `workload`.
+    pub fn recording_config(&self, workload: &WorkloadSpec) -> EngineConfig {
+        let mut cfg = EngineConfig::recording(self.chunk_size);
+        cfg.machine.n_procs = self.n_procs;
+        cfg.timing_seed = self.timing_seed;
+        cfg.overflow_noise = self.overflow_noise;
+        cfg.devices = self.device_config(workload);
+        if let Some(s) = self.simultaneous_chunks {
+            cfg.machine.simultaneous_chunks = s;
+        }
+        match self.mode {
+            Mode::OrderSize => cfg.variable_truncate_prob = 0.25,
+            Mode::OrderOnly => {}
+            Mode::PicoLog => {
+                cfg.collision_shrink = false;
+                cfg.collect_token_stats = true;
+                // Commit-token hop latency between round-robin grants.
+                cfg.grant_gap = 215;
+            }
+        }
+        cfg
+    }
+
+    /// Records one execution of `workload` seeded by `app_seed`.
+    pub fn record(&self, workload: &WorkloadSpec, app_seed: u64) -> Recording {
+        let cfg = self.recording_config(workload);
+        let spec = RunSpec::new(workload.clone(), self.n_procs, app_seed, self.budget);
+        let mut recorder = Recorder::new(self.mode, self.n_procs, self.chunk_size);
+        let stats = run(&spec, &cfg, &mut recorder);
+        Recording {
+            mode: self.mode,
+            n_procs: self.n_procs,
+            chunk_size: self.chunk_size,
+            budget: self.budget,
+            workload: workload.clone(),
+            app_seed,
+            devices: cfg.devices,
+            checkpoint: SystemCheckpoint::initial(workload, self.n_procs, app_seed),
+            interval: None,
+            logs: recorder.into_logs(),
+            stats,
+        }
+    }
+
+    /// Records a new interval starting from a mid-execution checkpoint:
+    /// each processor runs until its *total* retired count reaches the
+    /// checkpoint's high-water mark plus `extra_budget`. The resulting
+    /// recording replays from the same checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::MachineMismatch`] when the checkpoint's
+    /// processor count differs from this machine's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra_budget` is zero.
+    pub fn record_interval(
+        &self,
+        ck: &IntervalCheckpoint,
+        extra_budget: u64,
+    ) -> Result<Recording, ReplayError> {
+        assert!(extra_budget > 0, "extra budget must be positive");
+        if ck.n_procs != self.n_procs {
+            return Err(ReplayError::MachineMismatch {
+                recorded: ck.n_procs,
+                replaying: self.n_procs,
+            });
+        }
+        let budget = ck.max_retired() + extra_budget;
+        let cfg = self.recording_config(&ck.workload);
+        let spec = RunSpec::new(ck.workload.clone(), self.n_procs, ck.app_seed, budget);
+        let mut recorder = Recorder::new(self.mode, self.n_procs, self.chunk_size);
+        let stats = run_from(&spec, &cfg, &mut recorder, &ck.state);
+        Ok(Recording {
+            mode: self.mode,
+            n_procs: self.n_procs,
+            chunk_size: self.chunk_size,
+            budget,
+            workload: ck.workload.clone(),
+            app_seed: ck.app_seed,
+            devices: cfg.devices,
+            checkpoint: SystemCheckpoint::initial(&ck.workload, self.n_procs, ck.app_seed),
+            interval: Some(ck.state.clone()),
+            logs: recorder.into_logs(),
+            stats,
+        })
+    }
+
+    fn check_shape(&self, recording: &Recording) -> Result<(), ReplayError> {
+        if recording.n_procs != self.n_procs {
+            return Err(ReplayError::MachineMismatch {
+                recorded: recording.n_procs,
+                replaying: self.n_procs,
+            });
+        }
+        if recording.mode != self.mode {
+            return Err(ReplayError::ModeMismatch {
+                recorded: recording.mode,
+                replaying: self.mode,
+            });
+        }
+        Ok(())
+    }
+
+    fn replay_config(&self, recording: &Recording, timing_seed: u64) -> EngineConfig {
+        let mut base = self.recording_config(&recording.workload);
+        base.chunk_size = recording.chunk_size;
+        base.collect_token_stats = self.mode == Mode::PicoLog;
+        let mut cfg = EngineConfig::replay_of(&base, timing_seed);
+        // The paper's replay methodology raises the arbitration latency
+        // from 30 to 50 cycles; PicoLog's commit-token circulation runs
+        // through the same penalized path.
+        cfg.grant_gap = cfg.grant_gap * 5 / 3;
+        cfg
+    }
+
+    /// Replays `recording` with a perturbed timing seed derived from
+    /// the recording seed, per the paper's replay methodology
+    /// (Section 6.2.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError`] when the machine shape or mode does not
+    /// match the recording.
+    pub fn replay(&self, recording: &Recording) -> Result<ReplayReport, ReplayError> {
+        self.replay_with_seed(recording, self.timing_seed ^ 0x5a5a_5a5a)
+    }
+
+    /// Replays with an explicit replay-side timing seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError`] when the machine shape or mode does not
+    /// match the recording.
+    pub fn replay_with_seed(
+        &self,
+        recording: &Recording,
+        timing_seed: u64,
+    ) -> Result<ReplayReport, ReplayError> {
+        self.check_shape(recording)?;
+        let cfg = self.replay_config(recording, timing_seed);
+        let mut replayer = Replayer::new(self.mode, self.n_procs, &recording.logs);
+        let stats = match &recording.interval {
+            Some(start) => run_from(&recording.run_spec(), &cfg, &mut replayer, start),
+            None => run(&recording.run_spec(), &cfg, &mut replayer),
+        };
+        Ok(report(recording, stats, replayer.into_divergence()))
+    }
+
+    /// Replays driven by a *stratified* PI log instead of the plain
+    /// one (Section 4.3; Figure 11's "Stratified OrderOnly replay").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError`] when the machine shape or mode does not
+    /// match, or the mode has no PI log.
+    pub fn replay_stratified(
+        &self,
+        recording: &Recording,
+        max_per_stratum: u32,
+        timing_seed: u64,
+    ) -> Result<ReplayReport, ReplayError> {
+        self.check_shape(recording)?;
+        let strat = recording.stratified_pi(max_per_stratum);
+        let cfg = self.replay_config(recording, timing_seed);
+        let mut replayer =
+            Replayer::stratified(self.mode, self.n_procs, &recording.logs, &strat);
+        let stats = match &recording.interval {
+            Some(start) => run_from(&recording.run_spec(), &cfg, &mut replayer, start),
+            None => run(&recording.run_spec(), &cfg, &mut replayer),
+        };
+        Ok(report(recording, stats, replayer.into_divergence()))
+    }
+}
+
+fn report(recording: &Recording, stats: RunStats, divergence: Option<String>) -> ReplayReport {
+    let mut divergence = divergence;
+    if divergence.is_none() && stats.digest != recording.stats.digest {
+        divergence = Some(first_digest_mismatch(&recording.stats.digest, &stats.digest));
+    }
+    ReplayReport { deterministic: divergence.is_none(), divergence, stats }
+}
+
+fn first_digest_mismatch(rec: &StateDigest, rep: &StateDigest) -> String {
+    if rec.mem_hash != rep.mem_hash {
+        return "final memory contents differ".to_string();
+    }
+    if rec.retired != rep.retired {
+        return format!("retired counts differ: {:?} vs {:?}", rec.retired, rep.retired);
+    }
+    if rec.committed_chunks != rep.committed_chunks {
+        return format!(
+            "chunk counts differ: {:?} vs {:?}",
+            rec.committed_chunks, rep.committed_chunks
+        );
+    }
+    for (i, (a, b)) in rec.stream_hashes.iter().zip(&rep.stream_hashes).enumerate() {
+        if a != b {
+            return format!("instruction stream of processor {i} differs");
+        }
+    }
+    "digests differ".to_string()
+}
+
+/// Builder for [`Machine`].
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    mode: Mode,
+    n_procs: u32,
+    chunk_size: Option<u32>,
+    budget: u64,
+    devices: Option<DeviceConfig>,
+    timing_seed: u64,
+    overflow_noise: f64,
+    simultaneous_chunks: Option<u32>,
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        Self {
+            mode: Mode::OrderOnly,
+            n_procs: 8,
+            chunk_size: None,
+            budget: 50_000,
+            devices: None,
+            timing_seed: 0xd1ce,
+            overflow_noise: EngineConfig::recording(1).overflow_noise,
+            simultaneous_chunks: None,
+        }
+    }
+}
+
+impl MachineBuilder {
+    /// Sets the execution mode.
+    pub fn mode(&mut self, mode: Mode) -> &mut Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the processor count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn procs(&mut self, n: u32) -> &mut Self {
+        assert!(n > 0, "need at least one processor");
+        self.n_procs = n;
+        self
+    }
+
+    /// Overrides the mode's default chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn chunk_size(&mut self, size: u32) -> &mut Self {
+        assert!(size > 0, "chunk size must be positive");
+        self.chunk_size = Some(size);
+        self
+    }
+
+    /// Sets the per-processor instruction budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn budget(&mut self, budget: u64) -> &mut Self {
+        assert!(budget > 0, "budget must be positive");
+        self.budget = budget;
+        self
+    }
+
+    /// Overrides device activity (default: chosen by workload kind).
+    pub fn devices(&mut self, devices: DeviceConfig) -> &mut Self {
+        self.devices = Some(devices);
+        self
+    }
+
+    /// Sets the recording-side timing seed.
+    pub fn timing_seed(&mut self, seed: u64) -> &mut Self {
+        self.timing_seed = seed;
+        self
+    }
+
+    /// Sets the cache-overflow noise probability.
+    pub fn overflow_noise(&mut self, p: f64) -> &mut Self {
+        self.overflow_noise = p;
+        self
+    }
+
+    /// Overrides the simultaneous-chunks-per-processor limit.
+    pub fn simultaneous_chunks(&mut self, n: u32) -> &mut Self {
+        self.simultaneous_chunks = Some(n);
+        self
+    }
+
+    /// Finishes the machine.
+    pub fn build(&self) -> Machine {
+        Machine {
+            mode: self.mode,
+            n_procs: self.n_procs,
+            chunk_size: self.chunk_size.unwrap_or_else(|| self.mode.default_chunk_size()),
+            budget: self.budget,
+            devices: self.devices,
+            timing_seed: self.timing_seed,
+            overflow_noise: self.overflow_noise,
+            simultaneous_chunks: self.simultaneous_chunks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delorean_isa::workload;
+
+    #[test]
+    fn builder_defaults_follow_table5() {
+        let m = Machine::builder().build();
+        assert_eq!(m.mode(), Mode::OrderOnly);
+        assert_eq!(m.procs(), 8);
+        assert_eq!(m.chunk_size(), 2_000);
+        let m = Machine::builder().mode(Mode::PicoLog).build();
+        assert_eq!(m.chunk_size(), 1_000);
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let rec_machine = Machine::builder().procs(2).budget(2_000).build();
+        let recording = rec_machine.record(workload::by_name("lu").unwrap(), 1);
+        let other = Machine::builder().procs(4).budget(2_000).build();
+        assert!(matches!(
+            other.replay(&recording),
+            Err(ReplayError::MachineMismatch { recorded: 2, replaying: 4 })
+        ));
+        let mut b = Machine::builder();
+        let other = b.procs(2).mode(Mode::PicoLog).budget(2_000).build();
+        assert!(matches!(other.replay(&recording), Err(ReplayError::ModeMismatch { .. })));
+    }
+
+    #[test]
+    fn commercial_workloads_get_devices_by_default() {
+        let m = Machine::builder().procs(2).build();
+        let sweb = workload::by_name("sweb2005").unwrap();
+        let lu = workload::by_name("lu").unwrap();
+        assert!(m.recording_config(sweb).devices.irq_period > 0);
+        assert_eq!(m.recording_config(lu).devices.irq_period, 0);
+    }
+
+    #[test]
+    fn order_size_records_variable_chunking() {
+        let m = Machine::builder().mode(Mode::OrderSize).procs(2).build();
+        let cfg = m.recording_config(workload::by_name("lu").unwrap());
+        assert_eq!(cfg.variable_truncate_prob, 0.25);
+    }
+}

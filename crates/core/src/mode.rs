@@ -1,0 +1,96 @@
+//! The three DeLorean execution modes (Table 2 of the paper).
+
+/// A DeLorean execution mode: a point in the speed-vs-log-size
+/// trade-off space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// **Order&Size**: chunking is *not* deterministic (the hardware
+    /// may truncate chunks at arbitrary points) and the commit
+    /// interleaving is recorded. The arbiter logs committing processor
+    /// IDs in the PI log and every processor logs each committed
+    /// chunk's size in its CS log.
+    OrderSize,
+    /// **OrderOnly**: chunking is deterministic (fixed instruction
+    /// count), so chunk sizes need not be logged; the arbiter logs the
+    /// commit interleaving in the PI log, and the per-processor CS logs
+    /// record only the rare non-deterministically truncated chunks.
+    OrderOnly,
+    /// **PicoLog**: chunking is deterministic *and* the commit
+    /// interleaving is predefined (round-robin), so there is no PI log
+    /// at all — only the tiny CS logs.
+    PicoLog,
+}
+
+impl Mode {
+    /// The paper's preferred standard/maximum chunk size for this mode
+    /// (Table 5): 2,000 instructions for Order&Size and OrderOnly,
+    /// 1,000 for PicoLog.
+    pub fn default_chunk_size(self) -> u32 {
+        match self {
+            Mode::OrderSize | Mode::OrderOnly => 2_000,
+            Mode::PicoLog => 1_000,
+        }
+    }
+
+    /// Whether this mode keeps a PI log.
+    pub fn has_pi_log(self) -> bool {
+        !matches!(self, Mode::PicoLog)
+    }
+
+    /// Whether chunking is deterministic (no per-chunk size logging).
+    pub fn deterministic_chunking(self) -> bool {
+        !matches!(self, Mode::OrderSize)
+    }
+
+    /// Whether the commit interleaving is predefined rather than
+    /// recorded.
+    pub fn predefined_order(self) -> bool {
+        matches!(self, Mode::PicoLog)
+    }
+
+    /// All three modes, in the paper's presentation order.
+    pub fn all() -> [Mode; 3] {
+        [Mode::OrderSize, Mode::OrderOnly, Mode::PicoLog]
+    }
+}
+
+impl core::fmt::Display for Mode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Mode::OrderSize => write!(f, "Order&Size"),
+            Mode::OrderOnly => write!(f, "OrderOnly"),
+            Mode::PicoLog => write!(f, "PicoLog"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_properties() {
+        assert!(!Mode::OrderSize.deterministic_chunking());
+        assert!(Mode::OrderOnly.deterministic_chunking());
+        assert!(Mode::PicoLog.deterministic_chunking());
+        assert!(Mode::OrderSize.has_pi_log());
+        assert!(Mode::OrderOnly.has_pi_log());
+        assert!(!Mode::PicoLog.has_pi_log());
+        assert!(Mode::PicoLog.predefined_order());
+        assert!(!Mode::OrderOnly.predefined_order());
+    }
+
+    #[test]
+    fn preferred_chunk_sizes_match_table5() {
+        assert_eq!(Mode::OrderSize.default_chunk_size(), 2_000);
+        assert_eq!(Mode::OrderOnly.default_chunk_size(), 2_000);
+        assert_eq!(Mode::PicoLog.default_chunk_size(), 1_000);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mode::OrderSize.to_string(), "Order&Size");
+        assert_eq!(Mode::OrderOnly.to_string(), "OrderOnly");
+        assert_eq!(Mode::PicoLog.to_string(), "PicoLog");
+    }
+}

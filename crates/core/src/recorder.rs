@@ -1,0 +1,228 @@
+//! The DeLorean recorder: `ExecutionHooks` that capture an execution's
+//! logs at chunk-commit granularity.
+
+use crate::log::{CsEntry, CsLog, DmaLog, InterruptEntry, InterruptLog, IoEntry, IoLog, PiLog};
+use crate::mode::Mode;
+use delorean_chunk::{policy, ArbiterContext, CommitRecord, Committer, ExecutionHooks};
+
+/// Every log produced by one recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogSet {
+    /// The PI log (empty in PicoLog mode).
+    pub pi: PiLog,
+    /// Per-PI-entry access footprints, kept so the log can be
+    /// stratified *post hoc* at any chunks-per-stratum capacity
+    /// (the hardware Stratifier of Figure 5 does this online).
+    pub pi_footprints: Vec<Vec<u64>>,
+    /// Per-PI-entry written lines (subsets of the access footprints).
+    pub pi_write_footprints: Vec<Vec<u64>>,
+    /// Per-processor CS logs.
+    pub cs: Vec<CsLog>,
+    /// Per-processor Interrupt logs.
+    pub interrupts: Vec<InterruptLog>,
+    /// Per-processor I/O logs.
+    pub io: Vec<IoLog>,
+    /// The DMA log.
+    pub dma: DmaLog,
+}
+
+/// Recording-side hooks for one DeLorean execution mode.
+///
+/// * Order&Size / OrderOnly grant commits in arrival order and log
+///   processor IDs in the PI log; Order&Size additionally logs every
+///   chunk size, OrderOnly only non-deterministic truncations.
+/// * PicoLog grants round-robin and logs no PI entries at all; DMA
+///   commits record their global commit slot.
+///
+/// # Examples
+///
+/// ```
+/// use delorean::{Mode, Recorder};
+/// let rec = Recorder::new(Mode::OrderOnly, 8, 2000);
+/// let logs = rec.into_logs();
+/// assert!(logs.pi.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Recorder {
+    mode: Mode,
+    n_procs: u32,
+    logs: LogSet,
+    rr_cursor: u32,
+}
+
+impl Recorder {
+    /// Creates a recorder for an `n_procs` machine in `mode` with the
+    /// given standard (or maximum) chunk size.
+    pub fn new(mode: Mode, n_procs: u32, chunk_size: u32) -> Self {
+        let cs = (0..n_procs)
+            .map(|_| match mode {
+                Mode::OrderSize => CsLog::full(chunk_size),
+                Mode::OrderOnly => CsLog::order_only(),
+                Mode::PicoLog => CsLog::picolog(),
+            })
+            .collect();
+        Self {
+            mode,
+            n_procs,
+            logs: LogSet {
+                pi: PiLog::new(n_procs),
+                pi_footprints: Vec::new(),
+                pi_write_footprints: Vec::new(),
+                cs,
+                interrupts: (0..n_procs).map(|_| InterruptLog::new()).collect(),
+                io: (0..n_procs).map(|_| IoLog::new()).collect(),
+                dma: DmaLog::new(),
+            },
+            rr_cursor: 0,
+        }
+    }
+
+    /// The mode being recorded.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Finishes recording and hands over the logs.
+    pub fn into_logs(self) -> LogSet {
+        self.logs
+    }
+}
+
+impl ExecutionHooks for Recorder {
+    fn next_grant(&mut self, ctx: &ArbiterContext<'_>) -> Option<Committer> {
+        match self.mode {
+            Mode::OrderSize | Mode::OrderOnly => policy::arrival(ctx),
+            Mode::PicoLog => policy::round_robin(ctx, self.rr_cursor),
+        }
+    }
+
+    fn on_commit(&mut self, rec: &CommitRecord) {
+        match rec.committer {
+            Committer::Proc(p) => {
+                let pi = self.mode.has_pi_log();
+                if pi {
+                    self.logs.pi.push(Committer::Proc(p));
+                    self.logs.pi_footprints.push(rec.access_lines.clone());
+                    self.logs.pi_write_footprints.push(rec.write_lines.clone());
+                }
+                let log_size = match self.mode {
+                    Mode::OrderSize => true,
+                    Mode::OrderOnly | Mode::PicoLog => !rec.truncation.is_deterministic(),
+                };
+                if log_size {
+                    self.logs.cs[p as usize]
+                        .push(CsEntry { chunk_index: rec.chunk_index, size: rec.size });
+                }
+                if let Some((vector, payload)) = rec.interrupt {
+                    self.logs.interrupts[p as usize].push(InterruptEntry {
+                        chunk_index: rec.chunk_index,
+                        vector,
+                        payload,
+                    });
+                }
+                if !rec.io_values.is_empty() {
+                    self.logs.io[p as usize].push(IoEntry {
+                        chunk_index: rec.chunk_index,
+                        values: rec.io_values.clone(),
+                    });
+                }
+                if self.mode == Mode::PicoLog {
+                    self.rr_cursor = (p + 1) % self.n_procs;
+                }
+            }
+            Committer::Dma => {
+                self.logs.dma.push_transfer(rec.dma_data.clone());
+                if self.mode.has_pi_log() {
+                    self.logs.pi.push(Committer::Dma);
+                    self.logs.pi_footprints.push(rec.access_lines.clone());
+                    self.logs.pi_write_footprints.push(rec.write_lines.clone());
+                } else {
+                    // The arbiter records the DMA's commit slot: the
+                    // number of commits granted before it.
+                    self.logs.dma.push_slot(rec.global_slot - 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delorean_chunk::TruncationReason;
+
+    fn commit(p: u32, index: u64, size: u32, reason: TruncationReason) -> CommitRecord {
+        CommitRecord {
+            committer: Committer::Proc(p),
+            chunk_index: index,
+            size,
+            truncation: reason,
+            global_slot: 0,
+            interrupt: None,
+            io_values: Vec::new(),
+            dma_data: Vec::new(),
+            access_lines: vec![index],
+            write_lines: vec![index],
+        }
+    }
+
+    #[test]
+    fn order_only_logs_only_nondeterministic_sizes() {
+        let mut r = Recorder::new(Mode::OrderOnly, 2, 1000);
+        r.on_commit(&commit(0, 1, 1000, TruncationReason::StandardSize));
+        r.on_commit(&commit(0, 2, 412, TruncationReason::Overflow));
+        r.on_commit(&commit(1, 1, 300, TruncationReason::Uncached));
+        r.on_commit(&commit(1, 2, 99, TruncationReason::Collision));
+        let logs = r.into_logs();
+        assert_eq!(logs.pi.len(), 4);
+        assert_eq!(logs.cs[0].len(), 1);
+        assert_eq!(logs.cs[0].forced_size(2), Some(412));
+        assert_eq!(logs.cs[1].forced_size(2), Some(99));
+        assert_eq!(logs.cs[1].forced_size(1), None, "uncached is deterministic");
+    }
+
+    #[test]
+    fn order_size_logs_every_size() {
+        let mut r = Recorder::new(Mode::OrderSize, 1, 1000);
+        r.on_commit(&commit(0, 1, 1000, TruncationReason::StandardSize));
+        r.on_commit(&commit(0, 2, 17, TruncationReason::StandardSize));
+        let logs = r.into_logs();
+        assert_eq!(logs.cs[0].len(), 2);
+        assert_eq!(logs.cs[0].forced_size(2), Some(17));
+    }
+
+    #[test]
+    fn picolog_has_no_pi_but_records_dma_slots() {
+        let mut r = Recorder::new(Mode::PicoLog, 2, 1000);
+        r.on_commit(&commit(0, 1, 1000, TruncationReason::StandardSize));
+        let dma = CommitRecord {
+            committer: Committer::Dma,
+            chunk_index: 0,
+            size: 0,
+            truncation: TruncationReason::StandardSize,
+            global_slot: 2,
+            interrupt: None,
+            io_values: Vec::new(),
+            dma_data: vec![(5, 5)],
+            access_lines: vec![1],
+            write_lines: vec![1],
+        };
+        r.on_commit(&dma);
+        let logs = r.into_logs();
+        assert!(logs.pi.is_empty());
+        assert_eq!(logs.dma.slot(0), Some(1));
+        assert_eq!(logs.dma.transfer(0), Some(&[(5u64, 5u64)][..]));
+    }
+
+    #[test]
+    fn interrupt_and_io_feed_input_logs() {
+        let mut r = Recorder::new(Mode::OrderOnly, 1, 1000);
+        let mut rec = commit(0, 3, 1000, TruncationReason::StandardSize);
+        rec.interrupt = Some((2, 0xfeed));
+        rec.io_values = vec![(1, 42)];
+        r.on_commit(&rec);
+        let logs = r.into_logs();
+        assert_eq!(logs.interrupts[0].at_chunk(3), Some((2, 0xfeed)));
+        assert_eq!(logs.io[0].value(3, 0), Some(42));
+    }
+}

@@ -1,0 +1,154 @@
+//! Address-space layout shared by all workloads.
+//!
+//! Memory is word granular (one [`Word`](crate::Word) per address). The
+//! map places, in order: one private region per thread, the shared data
+//! region, the lock array, the barrier words, per-thread interrupt
+//! mailboxes and the DMA target buffer.
+
+use crate::Addr;
+
+/// Words in each thread's private region (128 KiB at 8 B/word).
+pub const PRIVATE_WORDS: u64 = 1 << 14;
+/// Words in the shared data region (512 KiB).
+pub const SHARED_WORDS: u64 = 1 << 16;
+/// Number of lock slots.
+pub const LOCK_COUNT: u64 = 256;
+/// Word stride between lock slots (keeps locks on distinct cache lines).
+pub const LOCK_STRIDE: u64 = 4;
+/// Words reserved for the barrier (count, sense, generation, spare).
+pub const BARRIER_WORDS: u64 = 4;
+/// Words per per-thread interrupt mailbox.
+pub const MAILBOX_WORDS: u64 = 16;
+/// Words in the DMA target buffer.
+pub const DMA_WORDS: u64 = 1024;
+
+/// Computed bases of every region for a given thread count.
+///
+/// # Examples
+///
+/// ```
+/// use delorean_isa::layout::AddressMap;
+/// let map = AddressMap::new(4);
+/// assert!(map.shared_base() > map.private_base(3));
+/// assert!(map.total_words() > map.dma_base());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    threads: u32,
+    shared_base: Addr,
+    locks_base: Addr,
+    barrier_base: Addr,
+    mailbox_base: Addr,
+    dma_base: Addr,
+    total: u64,
+}
+
+impl AddressMap {
+    /// Builds the map for `threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: u32) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        let shared_base = u64::from(threads) * PRIVATE_WORDS;
+        let locks_base = shared_base + SHARED_WORDS;
+        let barrier_base = locks_base + LOCK_COUNT * LOCK_STRIDE;
+        let mailbox_base = barrier_base + BARRIER_WORDS;
+        let dma_base = mailbox_base + u64::from(threads) * MAILBOX_WORDS;
+        let total = dma_base + DMA_WORDS;
+        Self { threads, shared_base, locks_base, barrier_base, mailbox_base, dma_base, total }
+    }
+
+    /// Number of threads the map was built for.
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// Base of thread `tid`'s private region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn private_base(&self, tid: u32) -> Addr {
+        assert!(tid < self.threads, "thread id out of range");
+        u64::from(tid) * PRIVATE_WORDS
+    }
+
+    /// Base of the shared data region.
+    pub fn shared_base(&self) -> Addr {
+        self.shared_base
+    }
+
+    /// Address of lock slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= LOCK_COUNT`.
+    pub fn lock_addr(&self, i: u64) -> Addr {
+        assert!(i < LOCK_COUNT, "lock index out of range");
+        self.locks_base + i * LOCK_STRIDE
+    }
+
+    /// Base of the barrier words (count at +0, sense at +1).
+    pub fn barrier_base(&self) -> Addr {
+        self.barrier_base
+    }
+
+    /// Base of thread `tid`'s interrupt mailbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn mailbox_base(&self, tid: u32) -> Addr {
+        assert!(tid < self.threads, "thread id out of range");
+        self.mailbox_base + u64::from(tid) * MAILBOX_WORDS
+    }
+
+    /// Base of the DMA target buffer.
+    pub fn dma_base(&self) -> Addr {
+        self.dma_base
+    }
+
+    /// Total words of backing store required.
+    pub fn total_words(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let m = AddressMap::new(8);
+        assert_eq!(m.private_base(0), 0);
+        assert_eq!(m.private_base(7), 7 * PRIVATE_WORDS);
+        assert_eq!(m.shared_base(), 8 * PRIVATE_WORDS);
+        assert!(m.lock_addr(0) >= m.shared_base() + SHARED_WORDS);
+        assert!(m.barrier_base() > m.lock_addr(LOCK_COUNT - 1));
+        assert!(m.mailbox_base(0) >= m.barrier_base() + BARRIER_WORDS);
+        assert!(m.dma_base() > m.mailbox_base(7));
+        assert_eq!(m.total_words(), m.dma_base() + DMA_WORDS);
+    }
+
+    #[test]
+    fn locks_are_line_separated() {
+        let m = AddressMap::new(2);
+        // 4-word stride = one 32-byte line apart.
+        assert_eq!(m.lock_addr(1) - m.lock_addr(0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread id out of range")]
+    fn private_base_checks_tid() {
+        AddressMap::new(2).private_base(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_panics() {
+        AddressMap::new(0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Programs and a label-based program builder.
+
+use crate::inst::Inst;
+
+/// An immutable thread program: a flat instruction array plus entry
+/// points.
+///
+/// # Examples
+///
+/// ```
+/// use delorean_isa::{Inst, ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new();
+/// b.emit(Inst::Imm { rd: Reg::new(0), value: 7 });
+/// b.emit(Inst::Halt);
+/// let prog = b.build(0, None);
+/// assert_eq!(prog.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    code: Vec<Inst>,
+    entry: usize,
+    handler: Option<usize>,
+}
+
+impl Program {
+    /// Creates a program from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` (or `handler`, when present) is out of bounds.
+    pub fn new(code: Vec<Inst>, entry: usize, handler: Option<usize>) -> Self {
+        assert!(entry < code.len(), "entry point out of bounds");
+        if let Some(h) = handler {
+            assert!(h < code.len(), "handler entry out of bounds");
+        }
+        Self { code, entry, handler }
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    pub fn inst_at(&self, pc: usize) -> Option<&Inst> {
+        self.code.get(pc)
+    }
+
+    /// First instruction executed by the thread.
+    pub fn entry(&self) -> usize {
+        self.entry
+    }
+
+    /// Interrupt handler entry point, if the program has one.
+    pub fn handler(&self) -> Option<usize> {
+        self.handler
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> impl Iterator<Item = &Inst> {
+        self.code.iter()
+    }
+}
+
+/// A pending forward-branch fix-up handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Incremental builder for [`Program`]s with forward-label patching.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    code: Vec<Inst>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an instruction, returning its index.
+    pub fn emit(&mut self, inst: Inst) -> usize {
+        self.code.push(inst);
+        self.code.len() - 1
+    }
+
+    /// Current instruction index (the index the *next* `emit` gets).
+    pub fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Emits a placeholder branch whose target is patched later via
+    /// [`ProgramBuilder::bind`].
+    pub fn emit_forward(&mut self, inst: Inst) -> Label {
+        Label(self.emit(inst))
+    }
+
+    /// Patches the branch at `label` to jump to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labelled instruction is not a control-flow
+    /// instruction.
+    pub fn bind(&mut self, label: Label) {
+        let target = self.here();
+        match &mut self.code[label.0] {
+            Inst::Jump { target: t }
+            | Inst::BranchEq { target: t, .. }
+            | Inst::BranchLt { target: t, .. } => *t = target,
+            other => panic!("label bound to non-branch instruction {other:?}"),
+        }
+    }
+
+    /// Finishes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry points are out of bounds (see
+    /// [`Program::new`]).
+    pub fn build(self, entry: usize, handler: Option<usize>) -> Program {
+        Program::new(self.code, entry, handler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Reg;
+
+    #[test]
+    fn forward_label_patches_branch() {
+        let mut b = ProgramBuilder::new();
+        let l = b.emit_forward(Inst::BranchEq {
+            ra: Reg::new(0),
+            rb: Reg::new(1),
+            target: usize::MAX,
+        });
+        b.emit(Inst::Nop);
+        b.bind(l);
+        b.emit(Inst::Halt);
+        let p = b.build(0, None);
+        assert_eq!(
+            p.inst_at(0),
+            Some(&Inst::BranchEq { ra: Reg::new(0), rb: Reg::new(1), target: 2 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-branch")]
+    fn binding_non_branch_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.emit_forward(Inst::Nop);
+        b.bind(l);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry point out of bounds")]
+    fn bad_entry_panics() {
+        Program::new(vec![Inst::Nop], 5, None);
+    }
+
+    #[test]
+    fn iterate_and_len() {
+        let mut b = ProgramBuilder::new();
+        b.emit(Inst::Nop);
+        b.emit(Inst::Halt);
+        let p = b.build(0, None);
+        assert_eq!(p.iter().count(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.handler(), None);
+    }
+}

@@ -1,0 +1,729 @@
+//! Seeded multithreaded workload generators.
+//!
+//! Each paper application (11 SPLASH-2 codes, SPECjbb2000, SPECweb2005)
+//! is modelled by a [`WorkloadSpec`]: a parameter vector controlling the
+//! sharing pattern (shared/private mix, hot-region contention,
+//! data-dependent addressing), synchronization (spinlock critical
+//! sections with configurable skew, sense-reversing barriers) and system
+//! activity (uncached I/O loads/stores, special system instructions).
+//! [`WorkloadSpec::generate`] synthesizes a deterministic program per
+//! thread from the spec and a seed.
+//!
+//! The parameters were chosen so the *relative* behaviour the paper
+//! reports emerges: `radix` produces many conflicts spread over all
+//! processors, `raytrace` concentrates squashes on a contended task
+//! queue, `fft`/`lu`/`ocean` are barrier codes with few conflicts, and
+//! the two commercial workloads add I/O, interrupts and system
+//! instructions.
+
+use crate::inst::{AluOp, Inst, Reg};
+use crate::layout::{AddressMap, LOCK_COUNT};
+use crate::program::{Program, ProgramBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Device port of the free-running timer (nondeterministic reads).
+pub const PORT_TIMER: u16 = 0;
+/// Device port of the device RNG.
+pub const PORT_RNG: u16 = 1;
+/// Device port used by I/O-initiation stores.
+pub const PORT_STATUS: u16 = 2;
+
+/// Workload category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// SPLASH-2-like scientific code (no system references).
+    Splash,
+    /// Commercial workload (I/O, system instructions, interrupts, DMA).
+    Commercial,
+}
+
+/// Parameter vector describing one application.
+///
+/// # Examples
+///
+/// ```
+/// use delorean_isa::workload;
+/// let radix = workload::by_name("radix").unwrap();
+/// assert!(radix.write_frac > 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Application name as the paper reports it.
+    pub name: &'static str,
+    /// SPLASH-2-like or commercial.
+    pub kind: WorkloadKind,
+    /// Fraction of body instructions that are data-memory ops.
+    pub mem_frac: f64,
+    /// Of memory ops, fraction directed at the shared region.
+    pub shared_frac: f64,
+    /// Of shared accesses, fraction that are writes.
+    pub write_frac: f64,
+    /// Of shared accesses, fraction aimed at the small hot region.
+    pub hot_frac: f64,
+    /// Size of the hot region in words (power of two).
+    pub hot_words: u64,
+    /// Shared-region working set in words (power of two).
+    pub shared_span: u64,
+    /// Of shared accesses, fraction that cross into other threads'
+    /// partitions (the rest stay in the thread's own block of the
+    /// shared region, like SPLASH-2's partitioned working sets —
+    /// the knob that controls the true conflict rate).
+    pub cross_frac: f64,
+    /// Private-region working set in words (power of two).
+    pub private_span: u64,
+    /// Fraction of shared addresses that are data-dependent.
+    pub irregular: f64,
+    /// Approximate body instructions between critical sections
+    /// (0 = no locks).
+    pub lock_every: u32,
+    /// Number of distinct locks used.
+    pub lock_count: u64,
+    /// Lock-choice skew: 0 = uniform, 1 = everyone hammers lock 0.
+    pub lock_skew: f64,
+    /// Instructions inside a critical section.
+    pub crit_len: u32,
+    /// Barrier every 2^k loop iterations (0 = no barriers; 1 = every
+    /// iteration).
+    pub barrier_every_iters: u32,
+    /// Approximate body instructions between uncached I/O loads
+    /// (0 = none).
+    pub io_every: u32,
+    /// Approximate body instructions between special system
+    /// instructions (0 = none).
+    pub sys_every: u32,
+}
+
+impl WorkloadSpec {
+    /// A small, fast, lock-light spec for unit tests.
+    pub fn test_spec() -> Self {
+        WorkloadSpec {
+            name: "test",
+            kind: WorkloadKind::Splash,
+            mem_frac: 0.4,
+            shared_frac: 0.4,
+            write_frac: 0.4,
+            hot_frac: 0.1,
+            hot_words: 16,
+            shared_span: 1024,
+            cross_frac: 0.3,
+            private_span: 1024,
+            irregular: 0.5,
+            lock_every: 200,
+            lock_count: 8,
+            lock_skew: 0.2,
+            crit_len: 8,
+            barrier_every_iters: 0,
+            io_every: 0,
+            sys_every: 0,
+        }
+    }
+
+    /// Generates the deterministic program thread `tid` of `n_threads`
+    /// executes, seeded by `seed`.
+    ///
+    /// The program loops forever (the simulator stops each processor at
+    /// its retired-instruction budget) and always contains an interrupt
+    /// handler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid >= n_threads` or the spec's spans exceed the
+    /// layout regions.
+    pub fn generate(&self, tid: u32, n_threads: u32, map: &AddressMap, seed: u64) -> Program {
+        assert!(tid < n_threads, "tid out of range");
+        assert!(self.shared_span <= crate::layout::SHARED_WORDS, "shared span too large");
+        assert!(self.private_span <= crate::layout::PRIVATE_WORDS, "private span too large");
+        assert!(self.lock_count <= LOCK_COUNT, "too many locks");
+        Gen::new(self, tid, n_threads, map, seed).run()
+    }
+
+    /// Generates one program per thread.
+    pub fn programs(&self, n_threads: u32, map: &AddressMap, seed: u64) -> Vec<Program> {
+        (0..n_threads).map(|t| self.generate(t, n_threads, map, seed)).collect()
+    }
+}
+
+const R_ZERO: Reg = Reg::new(0);
+const R_T1: Reg = Reg::new(1);
+const R_T2: Reg = Reg::new(2);
+const R_T3: Reg = Reg::new(3);
+const R_T4: Reg = Reg::new(4);
+const R_ADDR: Reg = Reg::new(5);
+const R_SENSE: Reg = Reg::new(6);
+const R_T7: Reg = Reg::new(7);
+const R_IO: Reg = Reg::new(8);
+const R_PAYLOAD: Reg = Reg::new(9);
+const R_ACC: Reg = Reg::new(10);
+const R_IDX: Reg = Reg::new(11);
+const R_SHARED: Reg = Reg::new(12);
+const R_PRIV: Reg = Reg::new(13);
+const R_ITER: Reg = Reg::new(14);
+
+/// Blocks per loop iteration (sized so the static loop body is long
+/// enough that every `*_every` site frequency in the catalog fires at
+/// least once per iteration).
+const BLOCKS_PER_ITER: u32 = 64;
+/// Approximate instructions per block.
+const BLOCK_LEN: u32 = 20;
+
+struct Gen<'a> {
+    spec: &'a WorkloadSpec,
+    tid: u32,
+    n_threads: u32,
+    map: &'a AddressMap,
+    rng: SmallRng,
+    b: ProgramBuilder,
+    since_lock: u32,
+    since_io: u32,
+    since_sys: u32,
+}
+
+impl<'a> Gen<'a> {
+    fn new(
+        spec: &'a WorkloadSpec,
+        tid: u32,
+        n_threads: u32,
+        map: &'a AddressMap,
+        seed: u64,
+    ) -> Self {
+        let rng = SmallRng::seed_from_u64(
+            seed ^ (u64::from(tid).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
+        Gen {
+            spec,
+            tid,
+            n_threads,
+            map,
+            rng,
+            b: ProgramBuilder::new(),
+            since_lock: 0,
+            since_io: 0,
+            since_sys: 0,
+        }
+    }
+
+    fn run(mut self) -> Program {
+        // Prologue.
+        self.b.emit(Inst::Imm { rd: R_ZERO, value: 0 });
+        self.b.emit(Inst::Imm { rd: R_ITER, value: 0 });
+        self.b.emit(Inst::Imm { rd: R_SENSE, value: 0 });
+        let acc0 = self.rng.gen::<u64>();
+        self.b.emit(Inst::Imm { rd: R_ACC, value: acc0 });
+        self.b.emit(Inst::Imm { rd: R_IDX, value: acc0 ^ u64::from(self.tid) });
+        let loop_top = self.b.here();
+
+        // Static loop bodies are ~BLOCKS_PER_ITER x BLOCK_LEN
+        // instructions; critical-section periods beyond that are
+        // realized with iteration guards.
+        let lock_spacing = self.spec.lock_every.min(1_100);
+        let lock_factor = if self.spec.lock_every == 0 {
+            1
+        } else {
+            self.spec.lock_every.div_ceil(lock_spacing).next_power_of_two()
+        };
+        for block in 0..BLOCKS_PER_ITER {
+            self.body_block();
+            if self.spec.lock_every > 0 && self.since_lock >= lock_spacing {
+                self.since_lock = 0;
+                self.guarded_critical_section(block, lock_factor);
+            }
+            if self.spec.io_every > 0 && self.since_io >= self.spec.io_every {
+                self.since_io = 0;
+                self.guarded_io_site(block);
+            }
+            if self.spec.sys_every > 0 && self.since_sys >= self.spec.sys_every {
+                self.since_sys = 0;
+                self.guarded_sys_site(block);
+            }
+        }
+
+        if self.spec.barrier_every_iters > 0 {
+            self.guarded_barrier();
+        }
+
+        self.b.emit(Inst::AddImm { rd: R_ITER, ra: R_ITER, imm: 1 });
+        // Refresh the irregular index stream so iterations diverge.
+        self.b.emit(Inst::Alu { rd: R_IDX, ra: R_IDX, rb: R_ITER, op: AluOp::Mix });
+        self.b.emit(Inst::Jump { target: loop_top });
+
+        // Interrupt handler: mix the payload and a timer read into the
+        // per-thread mailbox.
+        let handler = self.b.here();
+        self.b.emit(Inst::IoLoad { rd: R_IO, port: PORT_TIMER });
+        self.b.emit(Inst::Imm { rd: R_ADDR, value: self.map.mailbox_base(self.tid) });
+        self.b.emit(Inst::Load { rd: R_T7, base: R_ADDR, offset: 0 });
+        self.b.emit(Inst::Alu { rd: R_T7, ra: R_T7, rb: R_PAYLOAD, op: AluOp::Mix });
+        self.b.emit(Inst::Alu { rd: R_T7, ra: R_T7, rb: R_IO, op: AluOp::Add });
+        self.b.emit(Inst::Store { rs: R_T7, base: R_ADDR, offset: 0 });
+        self.b.emit(Inst::Iret);
+
+        self.b.build(0, Some(handler))
+    }
+
+    /// One straight-line block of ~BLOCK_LEN instructions ending with a
+    /// small data-dependent hammock.
+    fn body_block(&mut self) {
+        let mut emitted = 0u32;
+        while emitted + 6 < BLOCK_LEN {
+            if self.rng.gen_bool(self.spec.mem_frac) {
+                emitted += self.mem_op();
+            } else {
+                emitted += self.alu_op();
+            }
+        }
+        // Data-dependent hammock: skip one op when acc is even.
+        self.b.emit(Inst::Imm { rd: R_T1, value: 1 });
+        self.b.emit(Inst::Alu { rd: R_T2, ra: R_ACC, rb: R_T1, op: AluOp::And });
+        let skip = self.b.emit_forward(Inst::BranchEq { ra: R_T2, rb: R_ZERO, target: 0 });
+        self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_T1, op: AluOp::Add });
+        self.b.bind(skip);
+        emitted += 4;
+        self.since_lock += emitted;
+        self.since_io += emitted;
+        self.since_sys += emitted;
+    }
+
+    fn alu_op(&mut self) -> u32 {
+        let ops = [AluOp::Add, AluOp::Xor, AluOp::Mul, AluOp::Mix, AluOp::Sub];
+        let op = ops[self.rng.gen_range(0..ops.len())];
+        self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_IDX, op });
+        1
+    }
+
+    fn mem_op(&mut self) -> u32 {
+        let shared = self.rng.gen_bool(self.spec.shared_frac);
+        if shared {
+            self.shared_access()
+        } else {
+            self.private_access()
+        }
+    }
+
+    fn private_access(&mut self) -> u32 {
+        let off = self.rng.gen_range(0..self.spec.private_span) as i64;
+        if self.rng.gen_bool(0.4) {
+            self.b.emit(Inst::Store { rs: R_ACC, base: R_PRIV, offset: off });
+            1
+        } else {
+            self.b.emit(Inst::Load { rd: R_T3, base: R_PRIV, offset: off });
+            self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_T3, op: AluOp::Xor });
+            2
+        }
+    }
+
+    fn shared_access(&mut self) -> u32 {
+        let write = self.rng.gen_bool(self.spec.write_frac);
+        let hot = self.spec.hot_frac > 0.0 && self.rng.gen_bool(self.spec.hot_frac);
+        // Most shared accesses stay inside the thread's own partition of
+        // the shared region (SPLASH-style block decomposition); only
+        // `cross_frac` of them reach other threads' data.
+        let cross = hot || self.rng.gen_bool(self.spec.cross_frac);
+        let part_span = (self.spec.shared_span / u64::from(self.n_threads.next_power_of_two()))
+            .max(64);
+        let (span, base_off) = if hot {
+            (self.spec.hot_words, 0)
+        } else if cross {
+            (self.spec.shared_span, 0)
+        } else {
+            (part_span, part_span * u64::from(self.tid))
+        };
+        let irregular = !hot && self.rng.gen_bool(self.spec.irregular);
+        if irregular {
+            // addr = shared_base + base_off + (mix(idx, salt) & (span-1))
+            let salt = self.rng.gen::<u64>();
+            self.b.emit(Inst::Imm { rd: R_T4, value: salt });
+            self.b.emit(Inst::Alu { rd: R_ADDR, ra: R_IDX, rb: R_T4, op: AluOp::Mix });
+            self.b.emit(Inst::Imm { rd: R_T4, value: span - 1 });
+            self.b.emit(Inst::Alu { rd: R_ADDR, ra: R_ADDR, rb: R_T4, op: AluOp::And });
+            self.b.emit(Inst::Alu { rd: R_ADDR, ra: R_ADDR, rb: R_SHARED, op: AluOp::Add });
+            if base_off != 0 {
+                self.b.emit(Inst::AddImm { rd: R_ADDR, ra: R_ADDR, imm: base_off as i64 });
+            }
+            if write {
+                self.b.emit(Inst::Store { rs: R_ACC, base: R_ADDR, offset: 0 });
+                6
+            } else {
+                self.b.emit(Inst::Load { rd: R_T3, base: R_ADDR, offset: 0 });
+                self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_T3, op: AluOp::Xor });
+                7
+            }
+        } else {
+            let off = (base_off + self.rng.gen_range(0..span)) as i64;
+            if write {
+                self.b.emit(Inst::Store { rs: R_ACC, base: R_SHARED, offset: off });
+                1
+            } else {
+                self.b.emit(Inst::Load { rd: R_T3, base: R_SHARED, offset: off });
+                self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_T3, op: AluOp::Xor });
+                2
+            }
+        }
+    }
+
+    /// Spinlock-protected critical section (CAS acquire, store release).
+    fn critical_section(&mut self) {
+        let lock = self.pick_lock();
+        let lock_addr = self.map.lock_addr(lock);
+        self.b.emit(Inst::Imm { rd: R_ADDR, value: lock_addr });
+        self.b.emit(Inst::Imm { rd: R_T1, value: 0 });
+        self.b.emit(Inst::Imm { rd: R_T2, value: 1 });
+        let spin = self.b.here();
+        self.b.emit(Inst::Cas {
+            rd: R_T3,
+            base: R_ADDR,
+            offset: 0,
+            expected: R_T1,
+            desired: R_T2,
+        });
+        self.b.emit(Inst::BranchEq { ra: R_T3, rb: R_ZERO, target: spin });
+        // Critical body: read-modify-write the lock's data words.
+        let body_ops = (self.spec.crit_len / 3).max(1);
+        for k in 0..body_ops {
+            let off = 1 + (k as i64 % 3);
+            self.b.emit(Inst::Load { rd: R_T4, base: R_ADDR, offset: off });
+            self.b.emit(Inst::Alu { rd: R_T4, ra: R_T4, rb: R_ACC, op: AluOp::Add });
+            self.b.emit(Inst::Store { rs: R_T4, base: R_ADDR, offset: off });
+        }
+        // Release.
+        self.b.emit(Inst::Store { rs: R_ZERO, base: R_ADDR, offset: 0 });
+    }
+
+    fn pick_lock(&mut self) -> u64 {
+        if self.rng.gen_bool(self.spec.lock_skew) {
+            0
+        } else {
+            self.rng.gen_range(0..self.spec.lock_count)
+        }
+    }
+
+    /// Sense-reversing barrier, executed every 2^(barrier_every_iters-1)
+    /// iterations.
+    fn guarded_barrier(&mut self) {
+        let mask = (1u64 << (self.spec.barrier_every_iters - 1)) - 1;
+        self.b.emit(Inst::Imm { rd: R_T1, value: mask });
+        self.b.emit(Inst::Alu { rd: R_T2, ra: R_ITER, rb: R_T1, op: AluOp::And });
+        let to_bar = self.b.emit_forward(Inst::BranchEq { ra: R_T2, rb: R_ZERO, target: 0 });
+        let skip_all = self.b.emit_forward(Inst::Jump { target: 0 });
+        self.b.bind(to_bar);
+
+        let bar = self.map.barrier_base();
+        // Flip local sense.
+        self.b.emit(Inst::Imm { rd: R_T1, value: 1 });
+        self.b.emit(Inst::Alu { rd: R_SENSE, ra: R_SENSE, rb: R_T1, op: AluOp::Xor });
+        self.b.emit(Inst::Imm { rd: R_ADDR, value: bar });
+        // Atomic increment of the arrival count.
+        let inc = self.b.here();
+        self.b.emit(Inst::Load { rd: R_T2, base: R_ADDR, offset: 0 });
+        self.b.emit(Inst::Alu { rd: R_T3, ra: R_T2, rb: R_T1, op: AluOp::Add });
+        self.b.emit(Inst::Cas {
+            rd: R_T4,
+            base: R_ADDR,
+            offset: 0,
+            expected: R_T2,
+            desired: R_T3,
+        });
+        self.b.emit(Inst::BranchEq { ra: R_T4, rb: R_ZERO, target: inc });
+        // Last arriver resets the count and publishes the new sense.
+        self.b.emit(Inst::Imm { rd: R_T7, value: u64::from(self.n_threads) });
+        let last = self.b.emit_forward(Inst::BranchEq { ra: R_T3, rb: R_T7, target: 0 });
+        // Waiters spin on the sense word.
+        let wait = self.b.here();
+        self.b.emit(Inst::Load { rd: R_T2, base: R_ADDR, offset: 1 });
+        let done_w = self.b.emit_forward(Inst::BranchEq { ra: R_T2, rb: R_SENSE, target: 0 });
+        self.b.emit(Inst::Jump { target: wait });
+        self.b.bind(last);
+        self.b.emit(Inst::Store { rs: R_ZERO, base: R_ADDR, offset: 0 });
+        self.b.emit(Inst::Store { rs: R_SENSE, base: R_ADDR, offset: 1 });
+        self.b.bind(done_w);
+        self.b.bind(skip_all);
+    }
+
+    /// Emits a site guard: the guarded body only executes on the
+    /// iterations where `iter % period == block % period` (period a
+    /// power of two), so static sites in the loop body translate to
+    /// realistic runtime periods — tens of kilo-instructions for I/O
+    /// and system instructions, a few kilo-instructions for critical
+    /// sections.
+    fn site_guard(&mut self, block: u32, period: u32) -> crate::program::Label {
+        debug_assert!(period.is_power_of_two());
+        self.b.emit(Inst::Imm { rd: R_T1, value: u64::from(period - 1) });
+        self.b.emit(Inst::Alu { rd: R_T2, ra: R_ITER, rb: R_T1, op: AluOp::And });
+        self.b.emit(Inst::Imm { rd: R_T1, value: u64::from(block % period) });
+        let to_site = self.b.emit_forward(Inst::BranchEq { ra: R_T2, rb: R_T1, target: 0 });
+        let skip = self.b.emit_forward(Inst::Jump { target: 0 });
+        self.b.bind(to_site);
+        skip
+    }
+
+    fn guarded_io_site(&mut self, block: u32) {
+        let skip = self.site_guard(block, 32);
+        self.io_site(block);
+        self.b.bind(skip);
+    }
+
+    fn guarded_sys_site(&mut self, block: u32) {
+        let skip = self.site_guard(block, 32);
+        self.b.emit(Inst::System { code: (block % 7) as u16 });
+        self.b.bind(skip);
+    }
+
+    /// Critical sections with runtime periods beyond the static loop
+    /// body length are emitted at a denser static spacing and guarded
+    /// to fire only every `factor` iterations.
+    fn guarded_critical_section(&mut self, block: u32, factor: u32) {
+        if factor <= 1 {
+            self.critical_section();
+            return;
+        }
+        let skip = self.site_guard(block, factor);
+        self.critical_section();
+        self.b.bind(skip);
+    }
+
+    fn io_site(&mut self, block: u32) {
+        self.b.emit(Inst::IoLoad { rd: R_IO, port: PORT_RNG });
+        self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_IO, op: AluOp::Mix });
+        // Branch on the device value: the replayed path must match.
+        self.b.emit(Inst::Imm { rd: R_T1, value: 1 });
+        self.b.emit(Inst::Alu { rd: R_T2, ra: R_IO, rb: R_T1, op: AluOp::And });
+        let skip = self.b.emit_forward(Inst::BranchEq { ra: R_T2, rb: R_ZERO, target: 0 });
+        self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_ACC, op: AluOp::Add });
+        self.b.bind(skip);
+        if block % 3 == 0 {
+            self.b.emit(Inst::IoStore { rs: R_ACC, port: PORT_STATUS });
+        }
+    }
+}
+
+/// The 13 applications of the paper's evaluation, in its reporting
+/// order: the 11 SPLASH-2 codes, then SPECjbb2000 and SPECweb2005.
+pub fn catalog() -> &'static [WorkloadSpec] {
+    &CATALOG
+}
+
+/// The SPLASH-2 subset (used for Figure 12, which omits the commercial
+/// workloads).
+pub fn splash2() -> &'static [WorkloadSpec] {
+    &CATALOG[..11]
+}
+
+/// The two commercial workloads.
+pub fn commercial() -> &'static [WorkloadSpec] {
+    &CATALOG[11..]
+}
+
+/// Looks up a workload by paper name.
+pub fn by_name(name: &str) -> Option<&'static WorkloadSpec> {
+    CATALOG.iter().find(|w| w.name == name)
+}
+
+macro_rules! splash {
+    ($name:literal, mem $mem:literal, sh $sh:literal, wr $wr:literal,
+     hot $hot:literal / $hotw:literal, span $span:literal, cross $cross:literal,
+     irr $irr:literal,
+     lock $lev:literal / $lkc:literal / $skew:literal / $crit:literal,
+     bar $bar:literal) => {
+        WorkloadSpec {
+            name: $name,
+            kind: WorkloadKind::Splash,
+            mem_frac: $mem,
+            shared_frac: $sh,
+            write_frac: $wr,
+            hot_frac: $hot,
+            hot_words: $hotw,
+            shared_span: $span,
+            cross_frac: $cross,
+            private_span: 8192,
+            irregular: $irr,
+            lock_every: $lev,
+            lock_count: $lkc,
+            lock_skew: $skew,
+            crit_len: $crit,
+            barrier_every_iters: $bar,
+            io_every: 0,
+            sys_every: 0,
+        }
+    };
+}
+
+static CATALOG: [WorkloadSpec; 13] = [
+    splash!("barnes",    mem 0.35, sh 0.30, wr 0.25, hot 0.006/64,  span 16384, cross 0.006, irr 0.6,
+            lock 2500/64/0.15/12, bar 0),
+    splash!("cholesky",  mem 0.35, sh 0.35, wr 0.30, hot 0.005/128, span 16384, cross 0.006, irr 0.5,
+            lock 2600/48/0.2/16, bar 0),
+    splash!("fft",       mem 0.40, sh 0.45, wr 0.40, hot 0.0/16,   span 32768, cross 0.010, irr 0.3,
+            lock 0/1/0.0/0, bar 7),
+    splash!("fmm",       mem 0.35, sh 0.30, wr 0.25, hot 0.006/64,  span 16384, cross 0.006, irr 0.7,
+            lock 2200/64/0.15/12, bar 0),
+    splash!("lu",        mem 0.40, sh 0.35, wr 0.30, hot 0.0/16,   span 16384, cross 0.004, irr 0.2,
+            lock 0/1/0.0/0, bar 8),
+    splash!("ocean",     mem 0.45, sh 0.40, wr 0.35, hot 0.005/32,  span 32768, cross 0.006, irr 0.2,
+            lock 0/1/0.0/0, bar 6),
+    splash!("radiosity", mem 0.35, sh 0.35, wr 0.30, hot 0.008/64,  span 16384, cross 0.010, irr 0.8,
+            lock 2400/48/0.2/14, bar 0),
+    splash!("radix",     mem 0.45, sh 0.50, wr 0.60, hot 0.0/16,   span 32768, cross 0.008, irr 0.9,
+            lock 0/1/0.0/0, bar 8),
+    splash!("raytrace",  mem 0.35, sh 0.30, wr 0.25, hot 0.010/16,  span 16384, cross 0.006, irr 0.5,
+            lock 4400/8/0.5/10, bar 0),
+    splash!("water-ns",  mem 0.35, sh 0.25, wr 0.20, hot 0.005/32,  span 16384, cross 0.005, irr 0.3,
+            lock 2500/64/0.1/10, bar 8),
+    splash!("water-sp",  mem 0.35, sh 0.20, wr 0.15, hot 0.004/32,  span 16384, cross 0.004, irr 0.3,
+            lock 2500/64/0.1/10, bar 8),
+    WorkloadSpec {
+        name: "sjbb2k",
+        kind: WorkloadKind::Commercial,
+        mem_frac: 0.40,
+        shared_frac: 0.35,
+        write_frac: 0.30,
+        hot_frac: 0.010,
+        hot_words: 64,
+        shared_span: 32768,
+        cross_frac: 0.020,
+        private_span: 8192,
+        irregular: 0.6,
+        lock_every: 2000,
+        lock_count: 64,
+        lock_skew: 0.2,
+        crit_len: 16,
+        barrier_every_iters: 0,
+        io_every: 900,
+        sys_every: 1200,
+    },
+    WorkloadSpec {
+        name: "sweb2005",
+        kind: WorkloadKind::Commercial,
+        mem_frac: 0.40,
+        shared_frac: 0.40,
+        write_frac: 0.30,
+        hot_frac: 0.015,
+        hot_words: 64,
+        shared_span: 32768,
+        cross_frac: 0.025,
+        private_span: 8192,
+        irregular: 0.6,
+        lock_every: 1600,
+        lock_count: 64,
+        lock_skew: 0.3,
+        crit_len: 16,
+        barrier_every_iters: 0,
+        io_every: 600,
+        sys_every: 900,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{FlatMemory, NullIo, Vm};
+
+    #[test]
+    fn catalog_has_thirteen_named_apps() {
+        assert_eq!(catalog().len(), 13);
+        assert_eq!(splash2().len(), 11);
+        assert_eq!(commercial().len(), 2);
+        for w in catalog() {
+            assert!(!w.name.is_empty());
+        }
+        assert!(by_name("radix").is_some());
+        assert!(by_name("volrend").is_none(), "volrend fails in the paper's infra too");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let map = AddressMap::new(4);
+        let spec = by_name("barnes").unwrap();
+        let a = spec.generate(1, 4, &map, 99);
+        let b = spec.generate(1, 4, &map, 99);
+        assert_eq!(a, b);
+        let c = spec.generate(1, 4, &map, 100);
+        assert_ne!(a, c, "different seeds give different programs");
+        let d = spec.generate(2, 4, &map, 99);
+        assert_ne!(a, d, "different threads get different streams");
+    }
+
+    #[test]
+    fn programs_execute_for_long_budgets() {
+        let map = AddressMap::new(2);
+        for spec in catalog() {
+            let prog = spec.generate(0, 2, &map, 5);
+            let mut vm = Vm::new(0, &map);
+            vm.set_pc(prog.entry());
+            let mut mem = FlatMemory::new(map.total_words());
+            let mut io = NullIo;
+            for _ in 0..20_000 {
+                let info = vm.step(&prog, &mut mem, &mut io);
+                assert_ne!(info.kind, crate::vm::StepKind::Halted, "{} halted", spec.name);
+            }
+            assert_eq!(vm.retired(), 20_000);
+        }
+    }
+
+    #[test]
+    fn commercial_apps_issue_io() {
+        let map = AddressMap::new(1);
+        let spec = by_name("sweb2005").unwrap();
+        let prog = spec.generate(0, 1, &map, 3);
+        let io_count = prog
+            .iter()
+            .filter(|i| matches!(i, Inst::IoLoad { .. } | Inst::IoStore { .. }))
+            .count();
+        // The handler contributes one IoLoad; commercial bodies add more.
+        assert!(io_count > 1, "expected I/O sites, found {io_count}");
+        let sys = prog.iter().filter(|i| matches!(i, Inst::System { .. })).count();
+        assert!(sys > 0);
+    }
+
+    #[test]
+    fn splash_apps_have_no_body_io() {
+        let map = AddressMap::new(1);
+        let spec = by_name("lu").unwrap();
+        let prog = spec.generate(0, 1, &map, 3);
+        let body_io = prog
+            .iter()
+            .filter(|i| matches!(i, Inst::IoLoad { .. } | Inst::IoStore { .. }))
+            .count();
+        assert_eq!(body_io, 1, "only the handler's timer read");
+    }
+
+    #[test]
+    fn barrier_workload_synchronizes_two_threads() {
+        // Run two VMs round-robin; both must get past the first barrier.
+        let map = AddressMap::new(2);
+        let spec = by_name("fft").unwrap();
+        let progs = spec.programs(2, &map, 11);
+        let mut vms: Vec<Vm> = (0..2).map(|t| Vm::new(t, &map)).collect();
+        let mut mem = FlatMemory::new(map.total_words());
+        let mut io = NullIo;
+        for _ in 0..400_000 {
+            for t in 0..2 {
+                vms[t].step(&progs[t], &mut mem, &mut io);
+            }
+        }
+        // Both threads made progress past multiple iterations: their
+        // iteration counters advanced.
+        assert!(vms[0].reg(14) > 1, "thread 0 stuck at barrier");
+        assert!(vms[1].reg(14) > 1, "thread 1 stuck at barrier");
+    }
+
+    #[test]
+    fn locks_provide_mutual_exclusion_under_serial_interleaving() {
+        // With chunk-atomic CAS semantics, round-robin single-step
+        // interleaving must never see both threads inside the same
+        // critical section: we check the lock word is always 0 or 1.
+        let map = AddressMap::new(2);
+        let spec = by_name("raytrace").unwrap();
+        let progs = spec.programs(2, &map, 17);
+        let mut vms: Vec<Vm> = (0..2).map(|t| Vm::new(t, &map)).collect();
+        let mut mem = FlatMemory::new(map.total_words());
+        let mut io = NullIo;
+        use crate::vm::DataMemory;
+        for _ in 0..100_000 {
+            for t in 0..2 {
+                vms[t].step(&progs[t], &mut mem, &mut io);
+            }
+            let l = mem.load(map.lock_addr(0));
+            assert!(l <= 1, "lock word corrupted: {l}");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Set-associative LRU cache model.
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// The paper's private write-back D-L1: 32 KB, 4-way, 32 B lines.
+    pub fn l1() -> Self {
+        // 32 KiB / 32 B / 4 ways = 256 sets.
+        CacheConfig { sets: 256, ways: 4 }
+    }
+
+    /// The paper's shared L2: 8 MB, 8-way, 32 B lines.
+    pub fn l2() -> Self {
+        // 8 MiB / 32 B / 8 ways = 32768 sets.
+        CacheConfig { sets: 32_768, ways: 8 }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement, tracking line
+/// tags only (data lives in [`Memory`](crate::Memory)).
+///
+/// # Examples
+///
+/// ```
+/// use delorean_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig { sets: 2, ways: 2 });
+/// assert!(!c.access(0)); // cold miss
+/// assert!(c.access(0));  // hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `tags[set]` ordered most-recently-used first; `u64::MAX` = empty.
+    tags: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(cfg.ways > 0, "ways must be positive");
+        Self {
+            cfg,
+            tags: vec![Vec::with_capacity(cfg.ways as usize); cfg.sets as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// The set a line maps to.
+    pub fn set_of(&self, line: u64) -> u32 {
+        (line & u64::from(self.cfg.sets - 1)) as u32
+    }
+
+    /// Touches `line`; returns `true` on hit. Misses fill with LRU
+    /// eviction.
+    pub fn access(&mut self, line: u64) -> bool {
+        let set = self.set_of(line) as usize;
+        let ways = self.tags[set].len();
+        if let Some(pos) = self.tags[set].iter().position(|&t| t == line) {
+            self.tags[set][..=pos].rotate_right(1);
+            self.hits += 1;
+            true
+        } else {
+            if ways == self.cfg.ways as usize {
+                self.tags[set].pop();
+            }
+            self.tags[set].insert(0, line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hit/miss counters since construction or [`Cache::reset_stats`].
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Clears the hit/miss counters (not the contents).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Empties the cache (used when restoring system checkpoints; the
+    /// paper notes caches are *not* part of architectural state).
+    pub fn flush(&mut self) {
+        for set in &mut self.tags {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig { sets: 4, ways: 2 })
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (sets=4).
+        assert!(!c.access(0));
+        assert!(!c.access(4));
+        assert!(c.access(0)); // 0 now MRU
+        assert!(!c.access(8)); // evicts 4
+        assert!(c.access(0));
+        assert!(!c.access(4)); // 4 was evicted
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(!c.access(3));
+        assert!(c.access(0));
+        assert!(c.access(1));
+    }
+
+    #[test]
+    fn stats_count() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        assert_eq!(c.stats(), (1, 1));
+        c.reset_stats();
+        assert_eq!(c.stats(), (0, 0));
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = tiny();
+        c.access(0);
+        c.flush();
+        c.reset_stats();
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheConfig::l1(), CacheConfig { sets: 256, ways: 4 });
+        assert_eq!(CacheConfig::l2(), CacheConfig { sets: 32_768, ways: 8 });
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_panics() {
+        Cache::new(CacheConfig { sets: 3, ways: 1 });
+    }
+}

@@ -1,0 +1,45 @@
+//! Memory-system models for the DeLorean reproduction.
+//!
+//! This crate provides the three hardware structures the chunk-based
+//! execution substrate is built from:
+//!
+//! * [`Memory`] — the committed architectural memory (word granular),
+//!   with cheap whole-state snapshots used for system checkpointing and
+//!   a content hash used by the determinism checker.
+//! * [`Cache`] — a set-associative LRU cache model used both for timing
+//!   (hit/miss classification against the Table-5 hierarchy) and for
+//!   detecting speculative-overflow chunk truncation.
+//! * [`Signature`] — a 2-Kbit Bulk-style address signature with the
+//!   usual insert/membership/intersection/union operations, including
+//!   hardware-faithful *false positives* (and guaranteed absence of
+//!   false negatives).
+//!
+//! # Examples
+//!
+//! ```
+//! use delorean_mem::{line_of, Signature};
+//! let mut w = Signature::default();
+//! w.insert(line_of(0x40));
+//! let mut r = Signature::default();
+//! r.insert(line_of(0x40));
+//! assert!(w.intersects(&r));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod memory;
+mod signature;
+
+pub use cache::{Cache, CacheConfig};
+pub use memory::Memory;
+pub use signature::Signature;
+
+/// Words per cache line (32-byte lines, 8-byte words).
+pub const LINE_WORDS: u64 = 4;
+
+/// Cache line index of a word address.
+pub fn line_of(addr: delorean_isa::Addr) -> u64 {
+    addr / LINE_WORDS
+}

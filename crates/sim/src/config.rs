@@ -1,0 +1,85 @@
+//! The paper's Table-5 machine configuration.
+
+use delorean_mem::CacheConfig;
+
+/// Baseline architecture configuration (Table 5 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use delorean_sim::MachineConfig;
+/// let m = MachineConfig::default();
+/// assert_eq!(m.n_procs, 8);
+/// assert_eq!(m.ghz, 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Processors in the CMP.
+    pub n_procs: u32,
+    /// Clock frequency in GHz (used only for wall-clock estimates).
+    pub ghz: f64,
+    /// Private D-L1 geometry.
+    pub l1: CacheConfig,
+    /// Shared L2 geometry.
+    pub l2: CacheConfig,
+    /// L1 round-trip latency, cycles.
+    pub l1_latency: u64,
+    /// L2 minimum round-trip latency, cycles.
+    pub l2_latency: u64,
+    /// Memory round-trip latency, cycles.
+    pub mem_latency: u64,
+    /// Commit arbitration latency (request + grant), cycles.
+    pub arbitration_latency: u64,
+    /// Maximum chunks committing concurrently at the arbiter.
+    pub max_parallel_commits: u32,
+    /// Simultaneous (uncommitted) chunks a processor may hold.
+    pub simultaneous_chunks: u32,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            n_procs: 8,
+            ghz: 5.0,
+            l1: CacheConfig::l1(),
+            l2: CacheConfig::l2(),
+            l1_latency: 2,
+            l2_latency: 13,
+            mem_latency: 300,
+            arbitration_latency: 30,
+            max_parallel_commits: 4,
+            simultaneous_chunks: 2,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The Table-5 configuration with a different processor count
+    /// (Figure 12 sweeps 4/8/16).
+    pub fn with_procs(n_procs: u32) -> Self {
+        Self { n_procs, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table5() {
+        let m = MachineConfig::default();
+        assert_eq!(m.l1_latency, 2);
+        assert_eq!(m.l2_latency, 13);
+        assert_eq!(m.mem_latency, 300);
+        assert_eq!(m.arbitration_latency, 30);
+        assert_eq!(m.max_parallel_commits, 4);
+        assert_eq!(m.simultaneous_chunks, 2);
+    }
+
+    #[test]
+    fn with_procs_overrides_count_only() {
+        let m = MachineConfig::with_procs(16);
+        assert_eq!(m.n_procs, 16);
+        assert_eq!(m.ghz, 5.0);
+    }
+}

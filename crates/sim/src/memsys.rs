@@ -1,0 +1,132 @@
+//! Shared memory-hierarchy model: per-core L1s over one L2.
+
+use crate::config::MachineConfig;
+use delorean_mem::Cache;
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Hit in the private L1.
+    L1,
+    /// Missed L1, hit the shared L2.
+    L2,
+    /// Missed both; satisfied by memory.
+    Mem,
+}
+
+/// The cache hierarchy: one private L1 per core, one shared L2.
+///
+/// Tags only — data is held by [`delorean_mem::Memory`]. Coherence is
+/// modelled at the timing level (invalidation effects fold into the
+/// probabilistic timing parameters); functional coherence is provided
+/// by construction, since all executors read committed memory.
+///
+/// # Examples
+///
+/// ```
+/// use delorean_sim::{MachineConfig, MemorySystem, AccessClass};
+/// let mut ms = MemorySystem::new(&MachineConfig::with_procs(2));
+/// assert_eq!(ms.access(0, 5), AccessClass::Mem); // cold
+/// assert_eq!(ms.access(0, 5), AccessClass::L1);
+/// assert_eq!(ms.access(1, 5), AccessClass::L2);  // other core's L1 misses
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    l1s: Vec<Cache>,
+    l2: Cache,
+    accesses: u64,
+    l1_misses: u64,
+    l2_misses: u64,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy for `cfg.n_procs` cores.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        Self {
+            l1s: (0..cfg.n_procs).map(|_| Cache::new(cfg.l1)).collect(),
+            l2: Cache::new(cfg.l2),
+            accesses: 0,
+            l1_misses: 0,
+            l2_misses: 0,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> u32 {
+        self.l1s.len() as u32
+    }
+
+    /// Touches `line` from `core`, updating LRU state at both levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: u32, line: u64) -> AccessClass {
+        self.accesses += 1;
+        if self.l1s[core as usize].access(line) {
+            return AccessClass::L1;
+        }
+        self.l1_misses += 1;
+        if self.l2.access(line) {
+            AccessClass::L2
+        } else {
+            self.l2_misses += 1;
+            AccessClass::Mem
+        }
+    }
+
+    /// The L1 set index `line` maps to on any core.
+    pub fn l1_set_of(&self, line: u64) -> u32 {
+        self.l1s[0].set_of(line)
+    }
+
+    /// L1 associativity.
+    pub fn l1_ways(&self) -> u32 {
+        self.l1s[0].config().ways
+    }
+
+    /// (accesses, l1 misses, l2 misses) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.accesses, self.l1_misses, self.l2_misses)
+    }
+
+    /// Empties all caches (checkpoint restore; caches are not
+    /// architectural state).
+    pub fn flush(&mut self) {
+        for c in &mut self.l1s {
+            c.flush();
+        }
+        self.l2.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_counters_track() {
+        let mut ms = MemorySystem::new(&MachineConfig::with_procs(1));
+        ms.access(0, 1);
+        ms.access(0, 1);
+        let (a, m1, m2) = ms.stats();
+        assert_eq!(a, 2);
+        assert_eq!(m1, 1);
+        assert_eq!(m2, 1);
+    }
+
+    #[test]
+    fn flush_cools_caches() {
+        let mut ms = MemorySystem::new(&MachineConfig::with_procs(1));
+        ms.access(0, 1);
+        ms.flush();
+        assert_eq!(ms.access(0, 1), AccessClass::Mem);
+    }
+
+    #[test]
+    fn l2_shared_across_cores() {
+        let mut ms = MemorySystem::new(&MachineConfig::with_procs(2));
+        ms.access(0, 99);
+        assert_eq!(ms.access(1, 99), AccessClass::L2);
+    }
+}

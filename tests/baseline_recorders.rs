@@ -1,0 +1,143 @@
+//! The FDR / RTR / Strata baselines over real SC executions, and the
+//! cross-scheme log-size relationships of Section 6.1.
+
+use delorean_baselines::{
+    run_baseline, verify_log_covers, DependenceTracker, FdrRecorder, RtrRecorder, StrataRecorder,
+};
+use delorean_isa::workload;
+use delorean_sim::{AccessRecord, AccessSink, RunSpec};
+
+fn spec(app: &str, procs: u32, budget: u64) -> RunSpec {
+    RunSpec::new(workload::by_name(app).unwrap().clone(), procs, 55, budget)
+}
+
+/// Collects both the full dependence set and all three baseline logs in
+/// one SC run.
+struct Everything {
+    tracker: DependenceTracker,
+    all: Vec<delorean_baselines::Dependence>,
+    fdr: FdrRecorder,
+    rtr: RtrRecorder,
+    strata: StrataRecorder,
+}
+
+impl AccessSink for Everything {
+    fn record(&mut self, rec: AccessRecord) {
+        self.all.extend(self.tracker.observe(&rec));
+        self.fdr.record(rec);
+        self.rtr.record(rec);
+        self.strata.record(rec);
+    }
+}
+
+#[test]
+fn fdr_reduction_is_sound_on_real_workloads() {
+    for app in ["barnes", "radix", "raytrace"] {
+        let mut sink = Everything {
+            tracker: DependenceTracker::new(),
+            all: Vec::new(),
+            fdr: FdrRecorder::new(4),
+            rtr: RtrRecorder::new(4),
+            strata: StrataRecorder::new(4, true),
+        };
+        run_baseline(&spec(app, 4, 30_000), &mut sink);
+        let log = sink.fdr.finish();
+        assert!(!sink.all.is_empty(), "{app}: no dependences observed");
+        assert!(
+            log.len() as u64 <= log.total_dependences(),
+            "{app}: reduction added entries"
+        );
+        assert_eq!(
+            verify_log_covers(4, log.entries(), &sink.all),
+            None,
+            "{app}: reduced log lost a dependence"
+        );
+    }
+}
+
+#[test]
+fn rtr_logs_no_more_entries_than_fdr() {
+    let mut sink = Everything {
+        tracker: DependenceTracker::new(),
+        all: Vec::new(),
+        fdr: FdrRecorder::new(8),
+        rtr: RtrRecorder::new(8),
+        strata: StrataRecorder::new(8, true),
+    };
+    run_baseline(&spec("radix", 8, 30_000), &mut sink);
+    let fdr = sink.fdr.finish();
+    let rtr = sink.rtr.finish();
+    assert!(fdr.len() > 0, "need dependences for the comparison to mean anything");
+    assert!(rtr.len() <= fdr.len(), "RTR {} vs FDR {}", rtr.len(), fdr.len());
+}
+
+#[test]
+fn rtr_compresses_better_on_recurring_dependences() {
+    // RTR's published win comes from recurring (e.g. producer/consumer
+    // strided) dependences, which regulation + vector compaction
+    // collapse; on such a stream its encoded size must clearly beat
+    // FDR's.
+    use delorean_sim::AccessRecord;
+    let mut fdr = FdrRecorder::new(2);
+    let mut rtr = RtrRecorder::new(2);
+    for i in 0..500u64 {
+        for r in [
+            AccessRecord { proc: 0, icount: 1_000 + i * 64, line: i, write: true },
+            AccessRecord { proc: 1, icount: 2_000 + i * 64, line: i, write: false },
+        ] {
+            fdr.record(r);
+            rtr.record(r);
+        }
+    }
+    let fdr_bits = fdr.finish().measure().compressed_bits;
+    let rtr_bits = rtr.finish().measure().compressed_bits;
+    assert!(
+        rtr_bits * 2 <= fdr_bits,
+        "RTR ({rtr_bits}) should be well below FDR ({fdr_bits}) on strided streams"
+    );
+}
+
+#[test]
+fn strata_log_counts_all_references() {
+    let mut strata = StrataRecorder::new(4, true);
+    let result = run_baseline(&spec("fft", 4, 8_000), &mut strata);
+    let log = strata.finish();
+    assert_eq!(log.total_references(), result.mem_ops);
+    // Sum of all counters equals total references.
+    let counted: u64 = log.strata().iter().flatten().sum();
+    assert_eq!(counted, result.mem_ops);
+}
+
+#[test]
+fn delorean_beats_measured_baselines_on_log_size() {
+    // The headline claim at integration scale: OrderOnly's compressed
+    // memory-ordering log is far below FDR's and RTR's on the same
+    // workload (our own measured baselines, not just the published
+    // numbers).
+    use delorean::{Machine, Mode};
+    let budget = 30_000u64;
+    let machine = Machine::builder().mode(Mode::OrderOnly).procs(8).budget(budget).build();
+    let recording = machine.record(workload::by_name("barnes").unwrap(), 55);
+    let delorean_bits = recording.compressed_bits_per_proc_per_kiloinst();
+
+    let mut fdr = FdrRecorder::new(8);
+    let result = run_baseline(&spec("barnes", 8, budget), &mut fdr);
+    let total_insts: u64 = result.retired.iter().sum();
+    let fdr_bits = fdr
+        .finish()
+        .measure()
+        .compressed_bits_per_proc_per_kiloinst(total_insts, 8);
+    assert!(
+        delorean_bits < fdr_bits / 2.0,
+        "OrderOnly ({delorean_bits:.2}) should be well below FDR ({fdr_bits:.2})"
+    );
+}
+
+#[test]
+fn baseline_runs_are_deterministic() {
+    let mut a = StrataRecorder::new(4, false);
+    let mut b = StrataRecorder::new(4, false);
+    run_baseline(&spec("ocean", 4, 5_000), &mut a);
+    run_baseline(&spec("ocean", 4, 5_000), &mut b);
+    assert_eq!(a.finish(), b.finish());
+}

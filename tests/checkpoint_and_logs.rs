@@ -1,0 +1,120 @@
+//! Log sizing, stratification, checkpoints and the log-size claims of
+//! Section 6.1 at integration scale.
+
+use delorean::{Machine, Mode, Recording};
+use delorean_isa::workload;
+
+fn record(mode: Mode, app: &str, budget: u64) -> (Machine, Recording) {
+    let m = Machine::builder().mode(mode).procs(8).budget(budget).build();
+    let r = m.record(workload::by_name(app).unwrap(), 77);
+    (m, r)
+}
+
+#[test]
+fn order_only_pi_log_size_matches_formula() {
+    // Log size ~ log2(#procs + 1) bits per chunk commit: 4 bits at 8
+    // processors (Table 2's formula).
+    let (_, r) = record(Mode::OrderOnly, "lu", 20_000);
+    let pi = r.logs.pi.measure();
+    assert_eq!(pi.raw_bits, r.logs.pi.len() as u64 * 4);
+    // Roughly one entry per chunk_size instructions per processor:
+    // 2 bits/proc/kiloinst raw at 2000-instruction chunks.
+    let bits = pi.bits_per_proc_per_kiloinst(r.total_instructions(), 8);
+    assert!((1.5..3.2).contains(&bits), "raw PI = {bits} bits/proc/kinst");
+}
+
+#[test]
+fn picolog_memory_ordering_log_is_tiny() {
+    let (_, r) = record(Mode::PicoLog, "lu", 20_000);
+    let sizes = r.memory_ordering_sizes();
+    assert_eq!(sizes.pi.raw_bits, 0, "PicoLog has no PI log");
+    let total = r.compressed_bits_per_proc_per_kiloinst();
+    assert!(total < 0.5, "PicoLog log should be <0.5 bits/proc/kinst, got {total}");
+}
+
+#[test]
+fn mode_log_size_ordering_matches_table1() {
+    // Order&Size > OrderOnly > PicoLog in memory-ordering log size.
+    let (_, os) = record(Mode::OrderSize, "barnes", 16_000);
+    let (_, oo) = record(Mode::OrderOnly, "barnes", 16_000);
+    let (_, pl) = record(Mode::PicoLog, "barnes", 16_000);
+    let b_os = os.compressed_bits_per_proc_per_kiloinst();
+    let b_oo = oo.compressed_bits_per_proc_per_kiloinst();
+    let b_pl = pl.compressed_bits_per_proc_per_kiloinst();
+    assert!(b_os > b_oo, "Order&Size {b_os} should exceed OrderOnly {b_oo}");
+    assert!(b_oo > b_pl, "OrderOnly {b_oo} should exceed PicoLog {b_pl}");
+}
+
+#[test]
+fn stratification_shrinks_the_pi_log() {
+    let (_, r) = record(Mode::OrderOnly, "ocean", 20_000);
+    let plain = r.logs.pi.measure().raw_bits;
+    let strat1 = r.stratified_pi(1).measure().raw_bits;
+    assert!(
+        strat1 < plain,
+        "stratified(1) = {strat1} bits should be below plain = {plain} bits"
+    );
+    // Stratified log covers every commit exactly once.
+    assert_eq!(r.stratified_pi(3).total_chunks(), r.logs.pi.len() as u64);
+}
+
+#[test]
+fn larger_chunks_shrink_the_pi_log() {
+    let sizes: Vec<f64> = [1000u32, 2000, 3000]
+        .iter()
+        .map(|&cs| {
+            let m = Machine::builder()
+                .mode(Mode::OrderOnly)
+                .procs(8)
+                .chunk_size(cs)
+                .budget(18_000)
+                .build();
+            let r = m.record(workload::by_name("fft").unwrap(), 5);
+            r.logs.pi.measure().bits_per_proc_per_kiloinst(r.total_instructions(), 8)
+        })
+        .collect();
+    assert!(sizes[0] > sizes[1] && sizes[1] > sizes[2], "{sizes:?}");
+}
+
+#[test]
+fn checkpoints_identify_compatible_replays() {
+    let (_, r) = record(Mode::OrderOnly, "fmm", 6_000);
+    let w = workload::by_name("fmm").unwrap();
+    assert!(r.checkpoint.compatible_with(w, 8, 77));
+    assert!(!r.checkpoint.compatible_with(w, 8, 78));
+    assert_eq!(
+        r.checkpoint.id(),
+        delorean::checkpoint::SystemCheckpoint::initial(w, 8, 77).id()
+    );
+}
+
+#[test]
+fn gigabytes_per_day_is_consistent_with_bit_rate() {
+    let (_, r) = record(Mode::PicoLog, "water-sp", 16_000);
+    let bits = r.compressed_bits_per_proc_per_kiloinst();
+    let gb = r.gigabytes_per_day(5.0, 1.0);
+    // 1 bit/proc/kinst at 8 procs, 5 GHz, IPC 1 = 432 GB/day.
+    let expected = bits * 432.0;
+    assert!((gb - expected).abs() < expected * 0.01 + 1e-9, "gb={gb} expected={expected}");
+}
+
+#[test]
+fn compression_never_inflates_logs() {
+    for mode in Mode::all() {
+        let (_, r) = record(mode, "radiosity", 10_000);
+        let s = r.memory_ordering_sizes();
+        assert!(s.pi.compressed_bits <= s.pi.raw_bits);
+        assert!(s.cs.compressed_bits <= s.cs.raw_bits);
+    }
+}
+
+#[test]
+fn input_logs_measure_consistently() {
+    let m = Machine::builder().mode(Mode::OrderOnly).procs(4).budget(12_000).build();
+    let r = m.record(workload::by_name("sjbb2k").unwrap(), 13);
+    let io_bits: u64 = r.logs.io.iter().map(|l| l.measure().raw_bits).sum();
+    let io_vals: usize = r.logs.io.iter().map(|l| l.len()).sum();
+    assert!(io_bits >= io_vals as u64 * 64);
+    let int_bits: u64 = r.logs.interrupts.iter().map(|l| l.measure().raw_bits).sum();
+    assert_eq!(int_bits, r.stats.interrupts * 104);
+}
