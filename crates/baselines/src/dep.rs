@@ -118,7 +118,12 @@ mod tests {
     use super::*;
 
     fn acc(proc: u32, icount: u64, line: u64, write: bool) -> AccessRecord {
-        AccessRecord { proc, icount, line, write }
+        AccessRecord {
+            proc,
+            icount,
+            line,
+            write,
+        }
     }
 
     #[test]

@@ -140,7 +140,11 @@ impl FdrRecorder {
 
     /// Finishes recording.
     pub fn finish(self) -> FdrLog {
-        FdrLog { n_procs: self.n_procs, entries: self.entries, total_deps: self.total_deps }
+        FdrLog {
+            n_procs: self.n_procs,
+            entries: self.entries,
+            total_deps: self.total_deps,
+        }
     }
 }
 
@@ -199,7 +203,11 @@ impl OptimalReduction {
 
     /// Finishes and returns the reduced log.
     pub fn finish(self) -> FdrLog {
-        FdrLog { n_procs: self.n as u32, entries: self.entries, total_deps: self.total_deps }
+        FdrLog {
+            n_procs: self.n as u32,
+            entries: self.entries,
+            total_deps: self.total_deps,
+        }
     }
 }
 
@@ -279,7 +287,12 @@ mod tests {
     use delorean_sim::AccessRecord;
 
     fn acc(proc: u32, icount: u64, line: u64, write: bool) -> AccessRecord {
-        AccessRecord { proc, icount, line, write }
+        AccessRecord {
+            proc,
+            icount,
+            line,
+            write,
+        }
     }
 
     #[test]
@@ -317,7 +330,9 @@ mod tests {
         let mut icounts = [0u64; 3];
         let mut x = 12345u64;
         for _ in 0..3000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let proc = (x >> 33) as u32 % 3;
             let line = (x >> 17) % 24;
             let write = x & 1 == 0;
@@ -328,7 +343,7 @@ mod tests {
         }
         let log = fdr.finish();
         assert!(log.len() as u64 <= log.total_dependences());
-        assert!(log.len() > 0);
+        assert!(!log.is_empty());
         assert_eq!(verify_log_covers(3, log.entries(), &all), None);
     }
 
@@ -341,7 +356,9 @@ mod tests {
         let mut icounts = [0u64; 3];
         let mut x = 777u64;
         for _ in 0..4000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let proc = (x >> 33) as u32 % 3;
             icounts[proc as usize] += 1 + (x >> 55) % 3;
             let rec = AccessRecord {
@@ -362,7 +379,7 @@ mod tests {
             optimal.len(),
             cons.len()
         );
-        assert!(optimal.len() > 0);
+        assert!(!optimal.is_empty());
         // And it remains sound.
         assert_eq!(verify_log_covers(3, optimal.entries(), &all), None);
     }

@@ -133,7 +133,10 @@ impl RtrRecorder {
 
     /// Creates a recorder with an explicit regulation slack.
     pub fn with_slack(n_procs: u32, slack: u64) -> Self {
-        Self { inner: FdrRecorder::new(n_procs), slack }
+        Self {
+            inner: FdrRecorder::new(n_procs),
+            slack,
+        }
     }
 
     /// Finishes recording.
@@ -169,7 +172,12 @@ mod tests {
     use super::*;
 
     fn acc(proc: u32, icount: u64, line: u64, write: bool) -> AccessRecord {
-        AccessRecord { proc, icount, line, write }
+        AccessRecord {
+            proc,
+            icount,
+            line,
+            write,
+        }
     }
 
     #[test]

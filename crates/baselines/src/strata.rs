@@ -166,9 +166,7 @@ impl AccessSink for StrataRecorder {
                 continue;
             }
             let src_stratum = match d.kind {
-                DepKind::Raw | DepKind::Waw => {
-                    self.writer_stratum.get(&rec.line).copied()
-                }
+                DepKind::Raw | DepKind::Waw => self.writer_stratum.get(&rec.line).copied(),
                 DepKind::War => self
                     .reader_strata
                     .get(&rec.line)
@@ -186,7 +184,10 @@ impl AccessSink for StrataRecorder {
             self.writer_stratum.insert(rec.line, self.current_stratum);
             self.reader_strata.remove(&rec.line);
         } else {
-            self.reader_strata.entry(rec.line).or_default().push(self.current_stratum);
+            self.reader_strata
+                .entry(rec.line)
+                .or_default()
+                .push(self.current_stratum);
         }
         self.counts[rec.proc as usize] += 1;
     }
@@ -197,7 +198,12 @@ mod tests {
     use super::*;
 
     fn acc(proc: u32, icount: u64, line: u64, write: bool) -> AccessRecord {
-        AccessRecord { proc, icount, line, write }
+        AccessRecord {
+            proc,
+            icount,
+            line,
+            write,
+        }
     }
 
     #[test]
@@ -238,9 +244,7 @@ mod tests {
         let mut idx = 0usize;
         let mut consumed = vec![0u64; 2];
         for r in &stream {
-            while idx < log.len()
-                && consumed == log.strata()[idx]
-            {
+            while idx < log.len() && consumed == log.strata()[idx] {
                 idx += 1;
                 consumed = vec![0; 2];
             }
@@ -273,7 +277,11 @@ mod tests {
             logged.record(r);
             unlogged.record(r);
         }
-        assert_eq!(logged.finish().war_exposed_strata(), 0, "logged WARs cut strata");
+        assert_eq!(
+            logged.finish().war_exposed_strata(),
+            0,
+            "logged WARs cut strata"
+        );
         assert!(unlogged.finish().war_exposed_strata() > 0);
     }
 

@@ -13,7 +13,7 @@ use delorean_sim::{ConsistencyModel, Executor, RunSpec};
 const APPS: [&str; 4] = ["barnes", "ocean", "radix", "raytrace"];
 
 fn rc_rate(app: &str, procs: u32, budget: u64) -> f64 {
-    let w = workload::by_name(app).unwrap().clone();
+    let w = *workload::by_name(app).unwrap();
     let spec = RunSpec::new(w, procs, 42, budget);
     let r = Executor::new(ConsistencyModel::Rc).run(&spec);
     r.work_units as f64 / r.cycles as f64
@@ -39,8 +39,7 @@ fn main() {
             bits.push(r.compressed_bits_per_proc_per_kiloinst().max(1e-3));
             squashes += r.stats.squashes;
             speed.push(
-                (r.stats.work_units as f64 / r.stats.cycles as f64)
-                    / rc_rate(app, 8, budget),
+                (r.stats.work_units as f64 / r.stats.cycles as f64) / rc_rate(app, 8, budget),
             );
         }
         rows.push((
@@ -69,12 +68,13 @@ fn main() {
                 .simultaneous_chunks(sim)
                 .build();
             let st = m.record(workload::by_name(app).unwrap(), 42).stats;
-            speed.push(
-                (st.work_units as f64 / st.cycles as f64) / rc_rate(app, 8, budget),
-            );
+            speed.push((st.work_units as f64 / st.cycles as f64) / rc_rate(app, 8, budget));
             stalls.push(st.stall_pct().max(1e-3));
         }
-        rows.push((format!("{sim} chunks"), vec![geomean(&speed), geomean(&stalls)]));
+        rows.push((
+            format!("{sim} chunks"),
+            vec![geomean(&speed), geomean(&stalls)],
+        ));
     }
     print_table(
         "Ablation (b): simultaneous chunks per processor (OrderOnly)",
@@ -89,14 +89,12 @@ fn main() {
     for arb in [10u64, 30, 100, 300] {
         let mut speed = Vec::new();
         for app in APPS {
-            let w = workload::by_name(app).unwrap().clone();
+            let w = *workload::by_name(app).unwrap();
             let spec = RunSpec::new(w, 8, 42, budget);
             let mut cfg = EngineConfig::recording(2_000);
             cfg.arbitration_latency = arb;
             let st = chunk_run(&spec, &cfg, &mut BulkScHooks);
-            speed.push(
-                (st.work_units as f64 / st.cycles as f64) / rc_rate(app, 8, budget),
-            );
+            speed.push((st.work_units as f64 / st.cycles as f64) / rc_rate(app, 8, budget));
         }
         rows.push((format!("arb {arb}"), vec![geomean(&speed)]));
     }
@@ -131,7 +129,10 @@ fn main() {
         }
         rows.push((
             format!("noise {noise}"),
-            vec![truncs as f64, cs_bits as f64 / 8.0 / (insts as f64 / 8.0) * 1000.0],
+            vec![
+                truncs as f64,
+                cs_bits as f64 / 8.0 / (insts as f64 / 8.0) * 1000.0,
+            ],
         ));
     }
     print_table(

@@ -28,9 +28,15 @@ fn main() {
                 let insts = r.total_instructions();
                 let s = r.memory_ordering_sizes();
                 pi_raw.push(s.pi.bits_per_proc_per_kiloinst(insts, 8).max(1e-4));
-                pi_cmp.push(s.pi.compressed_bits_per_proc_per_kiloinst(insts, 8).max(1e-4));
+                pi_cmp.push(
+                    s.pi.compressed_bits_per_proc_per_kiloinst(insts, 8)
+                        .max(1e-4),
+                );
                 cs_raw.push(s.cs.bits_per_proc_per_kiloinst(insts, 8).max(1e-4));
-                cs_cmp.push(s.cs.compressed_bits_per_proc_per_kiloinst(insts, 8).max(1e-4));
+                cs_cmp.push(
+                    s.cs.compressed_bits_per_proc_per_kiloinst(insts, 8)
+                        .max(1e-4),
+                );
             }
             rows.push((
                 format!("{group}/{chunk}"),
@@ -47,7 +53,15 @@ fn main() {
     }
     print_table(
         "Figure 6: OrderOnly PI+CS log size (bits/proc/kilo-instruction)",
-        &["group/chunk", "PI raw", "CS raw", "raw", "PI comp", "CS comp", "comp"],
+        &[
+            "group/chunk",
+            "PI raw",
+            "CS raw",
+            "raw",
+            "PI comp",
+            "CS comp",
+            "comp",
+        ],
         &rows,
         3,
     );
@@ -57,7 +71,7 @@ fn main() {
     let mut measured = Vec::new();
     for (_, apps) in figure_groups() {
         for app in apps {
-            let spec = RunSpec::new(app.clone(), 8, seed, budget);
+            let spec = RunSpec::new(*app, 8, seed, budget);
             let mut fdr = FdrRecorder::new(8);
             let mut rtr = RtrRecorder::new(8);
             let res = run_baseline(&spec, &mut fdr);
@@ -65,8 +79,11 @@ fn main() {
             let res2 = run_baseline(&spec, &mut rtr);
             assert_eq!(res.mem_ops, res2.mem_ops);
             let insts: u64 = res.retired.iter().sum();
-            measured
-                .push(rtr.finish().measure().compressed_bits_per_proc_per_kiloinst(insts, 8));
+            measured.push(
+                rtr.finish()
+                    .measure()
+                    .compressed_bits_per_proc_per_kiloinst(insts, 8),
+            );
         }
     }
     println!();

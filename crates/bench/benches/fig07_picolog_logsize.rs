@@ -42,7 +42,10 @@ fn main() {
                 let gb = rate(cmp_bits) / 1000.0 * 5e9 * 86_400.0 * 8.0 / 8.0 / 1e9;
                 preferred_gb_per_day.push(gb.max(1e-3));
             }
-            rows.push((format!("{group}/{chunk}"), vec![rate(raw_bits), rate(cmp_bits)]));
+            rows.push((
+                format!("{group}/{chunk}"),
+                vec![rate(raw_bits), rate(cmp_bits)],
+            ));
         }
     }
     print_table(

@@ -29,11 +29,15 @@ fn main() {
                 pi_raw.push(s.pi.bits_per_proc_per_kiloinst(insts, 8).max(1e-4));
                 cs_raw.push(s.cs.bits_per_proc_per_kiloinst(insts, 8).max(1e-4));
                 total_cmp.push(
-                    s.total().compressed_bits_per_proc_per_kiloinst(insts, 8).max(1e-4),
+                    s.total()
+                        .compressed_bits_per_proc_per_kiloinst(insts, 8)
+                        .max(1e-4),
                 );
                 if chunk == 2_000 {
                     preferred.push(
-                        s.total().compressed_bits_per_proc_per_kiloinst(insts, 8).max(1e-4),
+                        s.total()
+                            .compressed_bits_per_proc_per_kiloinst(insts, 8)
+                            .max(1e-4),
                     );
                 }
             }

@@ -29,9 +29,7 @@ fn main() {
                 if max == 1 {
                     // Total OrderOnly log with a stratified PI log.
                     let cs = r.memory_ordering_sizes().cs.compressed_bits as f64;
-                    strat1_overall.push(
-                        ((s + cs) / 8.0 / (insts as f64 / 8.0) * 1000.0).max(1e-4),
-                    );
+                    strat1_overall.push(((s + cs) / 8.0 / (insts as f64 / 8.0) * 1000.0).max(1e-4));
                 }
             }
             total_bits.push(plain);

@@ -23,12 +23,18 @@ fn main() {
     let mut traffic_pico_vs_oo = Vec::new();
 
     for w in workload::catalog() {
-        let spec = RunSpec::new(w.clone(), 8, seed, budget);
+        let spec = RunSpec::new(*w, 8, seed, budget);
         let rc = Executor::new(ConsistencyModel::Rc).run(&spec);
         let sc = Executor::new(ConsistencyModel::Sc).run(&spec);
         let bulk = chunk_run(&spec, &EngineConfig::recording(2_000), &mut BulkScHooks);
         let record = |mode: Mode| {
-            Machine::builder().mode(mode).procs(8).budget(budget).build().record(w, seed).stats
+            Machine::builder()
+                .mode(mode)
+                .procs(8)
+                .budget(budget)
+                .build()
+                .record(w, seed)
+                .stats
         };
         let os = record(Mode::OrderSize);
         let oo = record(Mode::OrderOnly);
@@ -56,11 +62,22 @@ fn main() {
         }
         rows.push((w.name.to_string(), vals));
     }
-    rows.push(("SP2-G.M.".to_string(), gm.iter().map(|v| geomean(v)).collect()));
+    rows.push((
+        "SP2-G.M.".to_string(),
+        gm.iter().map(|v| geomean(v)).collect(),
+    ));
 
     print_table(
         "Figure 10: initial-execution speedup over RC (RC = 1.00)",
-        &["app", "BulkSC", "Order&Size", "OrderOnly", "StratOO", "PicoLog", "SC"],
+        &[
+            "app",
+            "BulkSC",
+            "Order&Size",
+            "OrderOnly",
+            "StratOO",
+            "PicoLog",
+            "SC",
+        ],
         &rows,
         2,
     );

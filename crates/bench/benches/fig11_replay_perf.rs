@@ -18,18 +18,24 @@ fn main() {
     let mut gm: Vec<Vec<f64>> = vec![Vec::new(); 6];
 
     for w in workload::catalog() {
-        let spec = RunSpec::new(w.clone(), 8, seed, budget);
+        let spec = RunSpec::new(*w, 8, seed, budget);
         let rc = Executor::new(ConsistencyModel::Rc).run(&spec);
         let base = rc.work_units as f64 / rc.cycles as f64;
         let rel = |wu: u64, cy: u64| (wu as f64 / cy as f64) / base;
 
-        let oo_machine = Machine::builder().mode(Mode::OrderOnly).procs(8).budget(budget).build();
+        let oo_machine = Machine::builder()
+            .mode(Mode::OrderOnly)
+            .procs(8)
+            .budget(budget)
+            .build();
         let oo_rec = oo_machine.record(w, seed);
         let oo_exec = rel(oo_rec.stats.work_units, oo_rec.stats.cycles);
         let oo_replay: Vec<f64> = REPLAY_SEEDS
             .iter()
             .map(|&s| {
-                let rep = oo_machine.replay_with_seed(&oo_rec, s).expect("shape matches");
+                let rep = oo_machine
+                    .replay_with_seed(&oo_rec, s)
+                    .expect("shape matches");
                 assert!(rep.deterministic, "{}: {:?}", w.name, rep.divergence);
                 rel(rep.stats.work_units, rep.stats.cycles)
             })
@@ -37,19 +43,27 @@ fn main() {
         let strat_replay: Vec<f64> = REPLAY_SEEDS
             .iter()
             .map(|&s| {
-                let rep = oo_machine.replay_stratified(&oo_rec, 1, s).expect("shape matches");
+                let rep = oo_machine
+                    .replay_stratified(&oo_rec, 1, s)
+                    .expect("shape matches");
                 assert!(rep.deterministic, "{} strat: {:?}", w.name, rep.divergence);
                 rel(rep.stats.work_units, rep.stats.cycles)
             })
             .collect();
 
-        let pl_machine = Machine::builder().mode(Mode::PicoLog).procs(8).budget(budget).build();
+        let pl_machine = Machine::builder()
+            .mode(Mode::PicoLog)
+            .procs(8)
+            .budget(budget)
+            .build();
         let pl_rec = pl_machine.record(w, seed);
         let pl_exec = rel(pl_rec.stats.work_units, pl_rec.stats.cycles);
         let pl_replay: Vec<f64> = REPLAY_SEEDS
             .iter()
             .map(|&s| {
-                let rep = pl_machine.replay_with_seed(&pl_rec, s).expect("shape matches");
+                let rep = pl_machine
+                    .replay_with_seed(&pl_rec, s)
+                    .expect("shape matches");
                 assert!(rep.deterministic, "{} pico: {:?}", w.name, rep.divergence);
                 rel(rep.stats.work_units, rep.stats.cycles)
             })
@@ -70,11 +84,22 @@ fn main() {
         }
         rows.push((w.name.to_string(), vals));
     }
-    rows.push(("SP2-G.M.".to_string(), gm.iter().map(|v| geomean(v)).collect()));
+    rows.push((
+        "SP2-G.M.".to_string(),
+        gm.iter().map(|v| geomean(v)).collect(),
+    ));
 
     print_table(
         "Figure 11: execution vs replay speedup over RC (5 perturbed replays averaged)",
-        &["app", "OO exec", "OO replay", "StratOO ex", "StratOO rp", "Pico exec", "Pico replay"],
+        &[
+            "app",
+            "OO exec",
+            "OO replay",
+            "StratOO ex",
+            "StratOO rp",
+            "Pico exec",
+            "Pico replay",
+        ],
         &rows,
         2,
     );

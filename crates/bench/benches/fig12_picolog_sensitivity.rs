@@ -20,7 +20,7 @@ fn main() {
             for &sim in &sim_chunks {
                 let mut rel = Vec::new();
                 for w in workload::splash2() {
-                    let spec = RunSpec::new(w.clone(), procs, seed, budget);
+                    let spec = RunSpec::new(*w, procs, seed, budget);
                     let rc = Executor::new(ConsistencyModel::Rc)
                         .with_machine(MachineConfig::with_procs(procs))
                         .run(&spec);

@@ -3,6 +3,7 @@
 //! executors, LZ77 throughput and signature operations.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use delorean::{FileSink, Machine, Mode};
 use delorean_chunk::{run as chunk_run, BulkScHooks, EngineConfig};
 use delorean_compress::lz77;
 use delorean_isa::workload;
@@ -13,11 +14,15 @@ use std::hint::black_box;
 fn engine_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     let budget = 10_000u64;
-    let spec = RunSpec::new(workload::by_name("barnes").unwrap().clone(), 4, 7, budget);
+    let spec = RunSpec::new(*workload::by_name("barnes").unwrap(), 4, 7, budget);
     g.throughput(Throughput::Elements(budget * 4));
     g.bench_function("chunked_barnes_4p", |b| {
         b.iter(|| {
-            black_box(chunk_run(&spec, &EngineConfig::recording(1_000), &mut BulkScHooks))
+            black_box(chunk_run(
+                &spec,
+                &EngineConfig::recording(1_000),
+                &mut BulkScHooks,
+            ))
         })
     });
     g.bench_function("rc_barnes_4p", |b| {
@@ -26,10 +31,62 @@ fn engine_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// Streaming-vs-in-memory record pipelines: the `FileSink` path should
+/// track the `Recording` path's throughput while holding a bounded
+/// buffer instead of the whole run's log.
+fn record_pipelines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("record");
+    let budget = 10_000u64;
+    let procs = 4u32;
+    let w = workload::by_name("barnes").unwrap();
+    let m = Machine::builder()
+        .mode(Mode::OrderOnly)
+        .procs(procs)
+        .budget(budget)
+        .build();
+    g.throughput(Throughput::Elements(budget * u64::from(procs)));
+    g.bench_function("in_memory_barnes_4p", |b| {
+        b.iter(|| black_box(m.record(w, 7)))
+    });
+    g.bench_function("streamed_barnes_4p", |b| {
+        b.iter(|| {
+            let mut sink = FileSink::new(Vec::new());
+            let stats = m.record_to(w, 7, &mut sink);
+            black_box((
+                stats,
+                sink.into_inner().expect("writing to a Vec cannot fail"),
+            ))
+        })
+    });
+
+    // Peak-log-buffer comparison (not a timing: printed once). The
+    // in-memory path holds the whole run's log before serializing; the
+    // streaming sink's high-water mark is one flush batch, so it stays
+    // flat as the budget grows while the emitted file keeps growing.
+    for mult in [1u64, 4] {
+        let m = Machine::builder()
+            .mode(Mode::OrderOnly)
+            .procs(procs)
+            .budget(mult * budget)
+            .build();
+        let mut sink = FileSink::with_flush_every(Vec::new(), 8);
+        m.record_to(w, 7, &mut sink);
+        println!(
+            "record/peak_log_buffer: budget {:>6} -> peak {:>6} bytes buffered, {:>6} bytes on disk",
+            mult * budget,
+            sink.peak_buffered_bytes(),
+            sink.bytes_written()
+        );
+    }
+    g.finish();
+}
+
 fn lz77_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("lz77");
     // A PI-log-like repetitive stream.
-    let data: Vec<u8> = (0..64 * 1024u32).map(|i| ((i % 9) | ((i % 7) << 4)) as u8).collect();
+    let data: Vec<u8> = (0..64 * 1024u32)
+        .map(|i| ((i % 9) | ((i % 7) << 4)) as u8)
+        .collect();
     g.throughput(Throughput::Bytes(data.len() as u64));
     g.bench_function("compress_pi_like_64k", |b| {
         b.iter(|| black_box(lz77::compressed_bits(&data)))
@@ -45,7 +102,9 @@ fn signature_ops(c: &mut Criterion) {
         a.insert(i * 977);
         bsig.insert(i * 977 + 13);
     }
-    g.bench_function("intersect_2kbit", |b| b.iter(|| black_box(a.intersects(&bsig))));
+    g.bench_function("intersect_2kbit", |b| {
+        b.iter(|| black_box(a.intersects(&bsig)))
+    });
     g.bench_function("insert", |b| {
         let mut s = Signature::new();
         let mut i = 0u64;
@@ -60,6 +119,6 @@ fn signature_ops(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = engine_throughput, lz77_throughput, signature_ops
+    targets = engine_throughput, record_pipelines, lz77_throughput, signature_ops
 }
 criterion_main!(benches);

@@ -46,7 +46,7 @@ fn main() {
     let mut pl_replay = Vec::new();
 
     for w in workload::catalog() {
-        let spec = RunSpec::new(w.clone(), 8, seed, budget);
+        let spec = RunSpec::new(*w, 8, seed, budget);
         let rc = Executor::new(ConsistencyModel::Rc).run(&spec);
         let base = rc.work_units as f64 / rc.cycles as f64;
         let rel = |wu: u64, cy: u64| (wu as f64 / cy as f64) / base;
@@ -59,17 +59,29 @@ fn main() {
         let mut fdr = FdrRecorder::new(8);
         let res = run_baseline(&spec, &mut fdr);
         let insts: u64 = res.retired.iter().sum();
-        fdr_bits
-            .push(fdr.finish().measure().compressed_bits_per_proc_per_kiloinst(insts, 8).max(0.01));
+        fdr_bits.push(
+            fdr.finish()
+                .measure()
+                .compressed_bits_per_proc_per_kiloinst(insts, 8)
+                .max(0.01),
+        );
         let mut rtr = RtrRecorder::new(8);
         run_baseline(&spec, &mut rtr);
-        rtr_bits
-            .push(rtr.finish().measure().compressed_bits_per_proc_per_kiloinst(insts, 8).max(0.01));
+        rtr_bits.push(
+            rtr.finish()
+                .measure()
+                .compressed_bits_per_proc_per_kiloinst(insts, 8)
+                .max(0.01),
+        );
         let mut strata = StrataRecorder::new(8, false);
         run_baseline(&spec, &mut strata);
         strata_kb.push(strata.finish().kb_per_million_refs().max(0.001));
 
-        let oo_m = Machine::builder().mode(Mode::OrderOnly).procs(8).budget(budget).build();
+        let oo_m = Machine::builder()
+            .mode(Mode::OrderOnly)
+            .procs(8)
+            .budget(budget)
+            .build();
         let rec = oo_m.record(w, seed);
         oo_speed.push(rel(rec.stats.work_units, rec.stats.cycles));
         oo_bits.push(rec.compressed_bits_per_proc_per_kiloinst().max(0.001));
@@ -77,7 +89,11 @@ fn main() {
         assert!(rep.deterministic, "{}: {:?}", w.name, rep.divergence);
         oo_replay.push(rel(rep.stats.work_units, rep.stats.cycles));
 
-        let pl_m = Machine::builder().mode(Mode::PicoLog).procs(8).budget(budget).build();
+        let pl_m = Machine::builder()
+            .mode(Mode::PicoLog)
+            .procs(8)
+            .budget(budget)
+            .build();
         let rec = pl_m.record(w, seed);
         pl_speed.push(rel(rec.stats.work_units, rec.stats.cycles));
         pl_bits.push(rec.compressed_bits_per_proc_per_kiloinst().max(0.001));
@@ -93,15 +109,29 @@ fn main() {
         "scheme", "exec speed", "log bits/p/kinst", "replay speed"
     );
     let row = |name: &str, speed: f64, bits: f64, replay: Option<f64>| {
-        let bits = if bits.is_nan() { "n/a".to_string() } else { format!("{bits:.3}") };
+        let bits = if bits.is_nan() {
+            "n/a".to_string()
+        } else {
+            format!("{bits:.3}")
+        };
         println!(
             "{name:<22} {:>11.2}x {bits:>16} {:>12}",
             speed,
             replay.map_or("n/a".to_string(), |r| format!("{r:.2}x"))
         );
     };
-    row("FDR (measured)", geomean(&sc_speed), geomean(&fdr_bits), None);
-    row("Basic RTR (measured)", geomean(&sc_speed), geomean(&rtr_bits), None);
+    row(
+        "FDR (measured)",
+        geomean(&sc_speed),
+        geomean(&fdr_bits),
+        None,
+    );
+    row(
+        "Basic RTR (measured)",
+        geomean(&sc_speed),
+        geomean(&rtr_bits),
+        None,
+    );
     // Advanced RTR records under TSO; the paper estimates its speed via
     // PC/TSO and reports no log size.
     row("Advanced RTR (est.)", geomean(&tso_speed), f64::NAN, None);
@@ -118,7 +148,12 @@ fn main() {
         geomean(&oo_bits),
         Some(geomean(&oo_replay)),
     );
-    row("DeLorean PicoLog", geomean(&pl_speed), geomean(&pl_bits), Some(geomean(&pl_replay)));
+    row(
+        "DeLorean PicoLog",
+        geomean(&pl_speed),
+        geomean(&pl_bits),
+        Some(geomean(&pl_replay)),
+    );
     println!();
     println!(
         "published references: FDR ~{} bits/p/kinst, Basic RTR ~{} bits/p/kinst, \

@@ -14,7 +14,11 @@ fn main() {
         "app", "ready", "commit", "ready%", "waitTok", "waitCmpl", "roundtrip", "stall%"
     );
     for w in workload::catalog() {
-        let m = Machine::builder().mode(Mode::PicoLog).procs(8).budget(budget).build();
+        let m = Machine::builder()
+            .mode(Mode::PicoLog)
+            .procs(8)
+            .budget(budget)
+            .build();
         let stats = m.record(w, seed).stats;
         let t = stats.token.as_ref().expect("PicoLog collects token stats");
         println!(

@@ -18,12 +18,20 @@ impl DeviceConfig {
     /// No device activity (SPLASH-2 runs, which the paper evaluates
     /// without system references).
     pub fn none() -> Self {
-        Self { irq_period: 0, dma_period: 0, dma_words: 0 }
+        Self {
+            irq_period: 0,
+            dma_period: 0,
+            dma_words: 0,
+        }
     }
 
     /// Full-system activity (the commercial workloads).
     pub fn commercial() -> Self {
-        Self { irq_period: 120_000, dma_period: 400_000, dma_words: 64 }
+        Self {
+            irq_period: 120_000,
+            dma_period: 400_000,
+            dma_words: 64,
+        }
     }
 }
 
@@ -44,7 +52,12 @@ pub struct PerturbConfig {
 
 impl Default for PerturbConfig {
     fn default() -> Self {
-        Self { commit_delay_frac: 0.3, delay_min: 10, delay_max: 300, cache_flip_frac: 0.015 }
+        Self {
+            commit_delay_frac: 0.3,
+            delay_min: 10,
+            delay_max: 300,
+            cache_flip_frac: 0.015,
+        }
     }
 }
 
@@ -190,7 +203,9 @@ mod tests {
 
     #[test]
     fn builders_override() {
-        let c = EngineConfig::recording(1000).with_procs(16).with_simultaneous_chunks(4);
+        let c = EngineConfig::recording(1000)
+            .with_procs(16)
+            .with_simultaneous_chunks(4);
         assert_eq!(c.machine.n_procs, 16);
         assert_eq!(c.machine.simultaneous_chunks, 4);
     }

@@ -137,8 +137,16 @@ pub fn run_from(
     hooks: &mut dyn ExecutionHooks,
     start: &StartState,
 ) -> RunStats {
-    assert_eq!(start.vm_states.len(), spec.n_procs as usize, "start state shape mismatch");
-    assert_eq!(start.chunks_done.len(), spec.n_procs as usize, "start state shape mismatch");
+    assert_eq!(
+        start.vm_states.len(),
+        spec.n_procs as usize,
+        "start state shape mismatch"
+    );
+    assert_eq!(
+        start.chunks_done.len(),
+        spec.n_procs as usize,
+        "start state shape mismatch"
+    );
     Engine::new(spec, cfg, hooks, Some(start)).run()
 }
 
@@ -191,7 +199,11 @@ impl<'h> Engine<'h> {
         let map = AddressMap::new(spec.n_procs);
         let memory = match start {
             Some(st) => {
-                assert_eq!(st.memory.len() as u64, map.total_words(), "memory image mismatch");
+                assert_eq!(
+                    st.memory.len() as u64,
+                    map.total_words(),
+                    "memory image mismatch"
+                );
                 Memory::from_image(st.memory.clone())
             }
             None => Memory::new(map.total_words()),
@@ -224,8 +236,7 @@ impl<'h> Engine<'h> {
                 }
             })
             .collect();
-        let devices =
-            DeviceBank::new(spec.seed, cfg.devices, map.dma_base(), DMA_WORDS);
+        let devices = DeviceBank::new(spec.seed, cfg.devices, map.dma_base(), DMA_WORDS);
         let trng = SmallRng::seed_from_u64(cfg.timing_seed ^ 0x7141_e57a);
         Self {
             budget: spec.budget,
@@ -266,7 +277,11 @@ impl<'h> Engine<'h> {
 
     fn schedule(&mut self, time: u64, ev: Ev) {
         self.seq += 1;
-        self.events.push(Reverse(QEvent { time, seq: self.seq, ev }));
+        self.events.push(Reverse(QEvent {
+            time,
+            seq: self.seq,
+            ev,
+        }));
     }
 
     fn all_done(&self) -> bool {
@@ -329,7 +344,7 @@ impl<'h> Engine<'h> {
             retired: self.cores.iter().map(|c| c.vm.retired()).collect(),
             committed_chunks: self.cores.iter().map(|c| c.committed).collect(),
         };
-        RunStats {
+        let stats = RunStats {
             work_units: self.cores.iter().map(|c| c.vm.reg(14)).sum(),
             cycles: self.now,
             total_commits: self.gcc,
@@ -348,18 +363,22 @@ impl<'h> Engine<'h> {
                 self.commit_insts as f64 / self.chunk_commits as f64
             },
             parallel: self.parallel,
-            token: if self.cfg.collect_token_stats { Some(self.token) } else { None },
+            token: if self.cfg.collect_token_stats {
+                Some(self.token)
+            } else {
+                None
+            },
             digest,
-        }
+        };
+        self.hooks.on_run_end(&stats);
+        stats
     }
 
     // ----- event handlers -------------------------------------------------
 
     fn handle_complete(&mut self, core: u32, attempt: u64) {
         let c = &mut self.cores[core as usize];
-        let Some(chunk) =
-            c.chunks.iter_mut().find(|ch| ch.incarnation == attempt)
-        else {
+        let Some(chunk) = c.chunks.iter_mut().find(|ch| ch.incarnation == attempt) else {
             return; // stale: chunk was squashed
         };
         if chunk.state != ChunkState::Executing {
@@ -416,7 +435,9 @@ impl<'h> Engine<'h> {
             return;
         }
         let (vector, payload) = self.devices.irq_content();
-        self.cores[core as usize].pending_irqs.push_back((vector, payload));
+        self.cores[core as usize]
+            .pending_irqs
+            .push_back((vector, payload));
         // Early delivery: squash a recently-started chunk so the handler
         // runs promptly (Section 4.2.1); otherwise it waits for the next
         // chunk boundary.
@@ -483,7 +504,10 @@ impl<'h> Engine<'h> {
                 }
                 Committer::Dma => self.dma_pending.is_some(),
             })
-            .map(|r| PendingView { committer: r.committer, arrival: r.arrival })
+            .map(|r| PendingView {
+                committer: r.committer,
+                arrival: r.arrival,
+            })
             .collect()
     }
 
@@ -503,8 +527,7 @@ impl<'h> Engine<'h> {
             }
             self.cleanup_stale_requests();
             let eligible = self.eligible_views();
-            let committers: Vec<Committer> =
-                self.committing.iter().map(|a| a.committer).collect();
+            let committers: Vec<Committer> = self.committing.iter().map(|a| a.committer).collect();
             let finished: Vec<bool> = self.cores.iter().map(|c| c.done).collect();
             let ctx = ArbiterContext {
                 pending: &eligible,
@@ -513,7 +536,9 @@ impl<'h> Engine<'h> {
                 total_commits: self.gcc,
                 finished: &finished,
             };
-            let Some(choice) = self.hooks.next_grant(&ctx) else { return };
+            let Some(choice) = self.hooks.next_grant(&ctx) else {
+                return;
+            };
             match choice {
                 Committer::Dma => {
                     let (data, device_generated) = match self.dma_pending.take() {
@@ -572,7 +597,11 @@ impl<'h> Engine<'h> {
         let ready_procs = self
             .cores
             .iter()
-            .filter(|c| c.chunks.first().is_some_and(|ch| ch.state == ChunkState::Completed))
+            .filter(|c| {
+                c.chunks
+                    .first()
+                    .is_some_and(|ch| ch.state == ChunkState::Completed)
+            })
             .count() as u64;
         self.parallel.samples += 1;
         self.parallel.ready_procs_sum += ready_procs;
@@ -635,6 +664,13 @@ impl<'h> Engine<'h> {
         }
         self.last_grant_time_global = self.now;
 
+        // Footprints are handed to the hooks in sorted order so a
+        // recording (and any byte stream derived from it) is
+        // reproducible run-to-run despite the hash-set storage.
+        let mut access_lines: Vec<u64> = all_lines.iter().copied().collect();
+        access_lines.sort_unstable();
+        let mut write_lines: Vec<u64> = chunk.wlines.iter().copied().collect();
+        write_lines.sort_unstable();
         let rec = CommitRecord {
             committer: Committer::Proc(p),
             chunk_index: chunk.index,
@@ -644,15 +680,18 @@ impl<'h> Engine<'h> {
             interrupt: chunk.irq,
             io_values: chunk.io_values.clone(),
             dma_data: Vec::new(),
-            access_lines: all_lines.iter().copied().collect(),
-            write_lines: chunk.wlines.iter().copied().collect(),
+            access_lines,
+            write_lines,
         };
         let wlines = chunk.wlines.clone();
         self.hooks.on_commit(&rec);
         self.commit_token_ctr += 1;
         let token = self.commit_token_ctr;
-        self.committing
-            .push(ActiveCommit { committer: Committer::Proc(p), token, lines: all_lines });
+        self.committing.push(ActiveCommit {
+            committer: Committer::Proc(p),
+            token,
+            lines: all_lines,
+        });
         self.schedule(self.now + commit_latency, Ev::CommitDone { token });
         let n = self.cores.len() as u32;
         for q in 0..n {
@@ -672,6 +711,8 @@ impl<'h> Engine<'h> {
                 self.memory.store(addr, val);
             }
         }
+        let mut sorted_lines: Vec<u64> = wlines.iter().copied().collect();
+        sorted_lines.sort_unstable();
         let rec = CommitRecord {
             committer: Committer::Dma,
             chunk_index: 0,
@@ -680,8 +721,8 @@ impl<'h> Engine<'h> {
             global_slot: self.gcc,
             interrupt: None,
             io_values: Vec::new(),
-            access_lines: wlines.iter().copied().collect(),
-            write_lines: wlines.iter().copied().collect(),
+            access_lines: sorted_lines.clone(),
+            write_lines: sorted_lines,
             dma_data: data,
         };
         self.hooks.on_commit(&rec);
@@ -692,7 +733,10 @@ impl<'h> Engine<'h> {
             token,
             lines: wlines.clone(),
         });
-        self.schedule(self.now + self.cfg.arbitration_latency, Ev::CommitDone { token });
+        self.schedule(
+            self.now + self.cfg.arbitration_latency,
+            Ev::CommitDone { token },
+        );
         let n = self.cores.len() as u32;
         for q in 0..n {
             self.conflict_squash(q, &wlines);
@@ -733,8 +777,15 @@ impl<'h> Engine<'h> {
                 ..
             } = &mut *self;
             let core = &mut cores[q as usize];
-            let CoreState { vm, program, chunks, chunks_started, occupancy, pending_irqs, .. } =
-                core;
+            let CoreState {
+                vm,
+                program,
+                chunks,
+                chunks_started,
+                occupancy,
+                pending_irqs,
+                ..
+            } = core;
             for (k, ch) in chunks[pos..].iter_mut().enumerate() {
                 *squashes += 1;
                 *squashed_insts += u64::from(ch.size);
@@ -804,8 +855,18 @@ impl<'h> Engine<'h> {
         let budget = self.budget;
         let now = self.now;
         let scheduled: Option<(u64, u64)> = 'blk: {
-            let Self { cores, memory, memsys, params, trng, hooks, devices, cfg, attempt_ctr, .. } =
-                &mut *self;
+            let Self {
+                cores,
+                memory,
+                memsys,
+                params,
+                trng,
+                hooks,
+                devices,
+                cfg,
+                attempt_ctr,
+                ..
+            } = &mut *self;
             let core = &mut cores[p as usize];
             if core.done {
                 break 'blk None;
@@ -860,17 +921,28 @@ impl<'h> Engine<'h> {
                         chunk.irq = Some(irq);
                     }
                 }
-                if cfg.variable_truncate_prob > 0.0
-                    && trng.gen_bool(cfg.variable_truncate_prob)
-                {
+                if cfg.variable_truncate_prob > 0.0 && trng.gen_bool(cfg.variable_truncate_prob) {
                     chunk.target = trng.gen_range(1..=cfg.chunk_size);
                 }
             }
             *attempt_ctr += 1;
             chunk.incarnation = *attempt_ctr;
             execute_attempt(
-                now, p, vm, program, &mut chunk, &chunks[..], occupancy, memory, memsys, params,
-                trng, *hooks, devices, cfg, budget,
+                now,
+                p,
+                vm,
+                program,
+                &mut chunk,
+                &chunks[..],
+                occupancy,
+                memory,
+                memsys,
+                params,
+                trng,
+                *hooks,
+                devices,
+                cfg,
+                budget,
             );
             let key = (chunk.complete_time, chunk.incarnation);
             chunks.push(chunk);
@@ -896,8 +968,14 @@ struct IoAdapter<'a> {
 
 impl IoBus for IoAdapter<'_> {
     fn io_load(&mut self, port: u16) -> Word {
-        let dev = if self.recording { self.devices.io_load(port, self.now) } else { 0 };
-        let v = self.hooks.io_load(self.core, self.index, self.seq, port, dev);
+        let dev = if self.recording {
+            self.devices.io_load(port, self.now)
+        } else {
+            0
+        };
+        let v = self
+            .hooks
+            .io_load(self.core, self.index, self.seq, port, dev);
         self.seq += 1;
         self.values.push((port, v));
         v
@@ -948,8 +1026,11 @@ fn execute_attempt(
     chunk.reason = TruncationReason::StandardSize;
     loop {
         if chunk.size >= chunk.target {
-            chunk.reason =
-                if chunk.shrunk { TruncationReason::Collision } else { TruncationReason::StandardSize };
+            chunk.reason = if chunk.shrunk {
+                TruncationReason::Collision
+            } else {
+                TruncationReason::StandardSize
+            };
             break;
         }
         if vm.retired() >= budget || vm.halted() {

@@ -38,7 +38,10 @@ impl TruncationReason {
     /// Whether the truncation reappears deterministically during replay
     /// (and therefore needs no CS-log entry in OrderOnly/PicoLog).
     pub fn is_deterministic(self) -> bool {
-        !matches!(self, TruncationReason::Overflow | TruncationReason::Collision)
+        !matches!(
+            self,
+            TruncationReason::Overflow | TruncationReason::Collision
+        )
     }
 }
 
@@ -168,6 +171,13 @@ pub trait ExecutionHooks {
     fn dma_data(&mut self) -> Vec<(Addr, Word)> {
         Vec::new()
     }
+
+    /// Called once after the run drains, with the final statistics.
+    /// Streaming recorders use this to flush and finalize their log
+    /// sinks at the engine's completion point.
+    fn on_run_end(&mut self, stats: &crate::stats::RunStats) {
+        let _ = stats;
+    }
 }
 
 /// A plain BulkSC machine: chunked execution with arrival-order
@@ -193,7 +203,10 @@ mod tests {
 
     #[test]
     fn context_pending_lookup() {
-        let pending = [PendingView { committer: Committer::Proc(1), arrival: 0 }];
+        let pending = [PendingView {
+            committer: Committer::Proc(1),
+            arrival: 0,
+        }];
         let finished = [false, false];
         let ctx = ArbiterContext {
             pending: &pending,

@@ -10,7 +10,10 @@ use crate::hooks::{ArbiterContext, Committer};
 /// policy of Order&Size and OrderOnly, where the arbiter simply logs
 /// whatever order commits happen to occur in.
 pub fn arrival(ctx: &ArbiterContext<'_>) -> Option<Committer> {
-    ctx.pending.iter().min_by_key(|p| p.arrival).map(|p| p.committer)
+    ctx.pending
+        .iter()
+        .min_by_key(|p| p.arrival)
+        .map(|p| p.committer)
 }
 
 /// Round-robin commit token over processors — PicoLog's predefined
@@ -43,7 +46,13 @@ mod tests {
     use crate::hooks::PendingView;
 
     fn ctx<'a>(pending: &'a [PendingView], finished: &'a [bool]) -> ArbiterContext<'a> {
-        ArbiterContext { pending, n_procs: 4, committing: &[], total_commits: 0, finished }
+        ArbiterContext {
+            pending,
+            n_procs: 4,
+            committing: &[],
+            total_commits: 0,
+            finished,
+        }
     }
 
     const LIVE: [bool; 4] = [false; 4];
@@ -51,8 +60,14 @@ mod tests {
     #[test]
     fn arrival_picks_earliest() {
         let pending = [
-            PendingView { committer: Committer::Proc(2), arrival: 5 },
-            PendingView { committer: Committer::Proc(0), arrival: 3 },
+            PendingView {
+                committer: Committer::Proc(2),
+                arrival: 5,
+            },
+            PendingView {
+                committer: Committer::Proc(0),
+                arrival: 3,
+            },
         ];
         assert_eq!(arrival(&ctx(&pending, &LIVE)), Some(Committer::Proc(0)));
         assert_eq!(arrival(&ctx(&[], &LIVE)), None);
@@ -60,19 +75,34 @@ mod tests {
 
     #[test]
     fn round_robin_waits_for_token_holder() {
-        let pending = [PendingView { committer: Committer::Proc(2), arrival: 0 }];
+        let pending = [PendingView {
+            committer: Committer::Proc(2),
+            arrival: 0,
+        }];
         // Token at 1: proc 2 must wait even though it is ready.
         assert_eq!(round_robin(&ctx(&pending, &LIVE), 1), None);
-        assert_eq!(round_robin(&ctx(&pending, &LIVE), 2), Some(Committer::Proc(2)));
+        assert_eq!(
+            round_robin(&ctx(&pending, &LIVE), 2),
+            Some(Committer::Proc(2))
+        );
         // Cursor wraps.
-        assert_eq!(round_robin(&ctx(&pending, &LIVE), 6), Some(Committer::Proc(2)));
+        assert_eq!(
+            round_robin(&ctx(&pending, &LIVE), 6),
+            Some(Committer::Proc(2))
+        );
     }
 
     #[test]
     fn round_robin_skips_finished_processors() {
-        let pending = [PendingView { committer: Committer::Proc(2), arrival: 0 }];
+        let pending = [PendingView {
+            committer: Committer::Proc(2),
+            arrival: 0,
+        }];
         let finished = [false, true, false, false];
-        assert_eq!(round_robin(&ctx(&pending, &finished), 1), Some(Committer::Proc(2)));
+        assert_eq!(
+            round_robin(&ctx(&pending, &finished), 1),
+            Some(Committer::Proc(2))
+        );
         // All finished: nothing to grant.
         let all = [true; 4];
         assert_eq!(round_robin(&ctx(&pending, &all), 0), None);
@@ -81,8 +111,14 @@ mod tests {
     #[test]
     fn round_robin_prioritizes_dma() {
         let pending = [
-            PendingView { committer: Committer::Proc(1), arrival: 0 },
-            PendingView { committer: Committer::Dma, arrival: 9 },
+            PendingView {
+                committer: Committer::Proc(1),
+                arrival: 0,
+            },
+            PendingView {
+                committer: Committer::Dma,
+                arrival: 9,
+            },
         ];
         assert_eq!(round_robin(&ctx(&pending, &LIVE), 1), Some(Committer::Dma));
     }

@@ -161,7 +161,10 @@ impl Occupancy {
         set_of: impl Fn(u64) -> u32,
     ) {
         for &line in lines {
-            let r = self.refcount.get_mut(&line).expect("occupancy refcount underflow");
+            let r = self
+                .refcount
+                .get_mut(&line)
+                .expect("occupancy refcount underflow");
             *r -= 1;
             if *r == 0 {
                 self.refcount.remove(&line);

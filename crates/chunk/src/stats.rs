@@ -185,7 +185,11 @@ mod tests {
 
     #[test]
     fn parallel_means() {
-        let p = ParallelStats { ready_procs_sum: 12, committing_sum: 6, samples: 3 };
+        let p = ParallelStats {
+            ready_procs_sum: 12,
+            committing_sum: 6,
+            samples: 3,
+        };
         assert_eq!(p.avg_ready_procs(), 4.0);
         assert_eq!(p.avg_actual_commit(), 2.0);
     }

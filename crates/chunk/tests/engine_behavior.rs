@@ -7,12 +7,16 @@ use delorean_isa::{AluOp, Inst, Program, ProgramBuilder, Reg};
 use delorean_sim::RunSpec;
 
 fn spec(name: &str, procs: u32, seed: u64, budget: u64) -> RunSpec {
-    RunSpec::new(workload::by_name(name).unwrap().clone(), procs, seed, budget)
+    RunSpec::new(*workload::by_name(name).unwrap(), procs, seed, budget)
 }
 
 #[test]
 fn budget_is_exact_for_every_core() {
-    let stats = run(&spec("barnes", 4, 3, 5_000), &EngineConfig::recording(500), &mut BulkScHooks);
+    let stats = run(
+        &spec("barnes", 4, 3, 5_000),
+        &EngineConfig::recording(500),
+        &mut BulkScHooks,
+    );
     assert_eq!(stats.digest.retired, vec![5_000; 4]);
     assert!(stats.total_commits > 0);
     assert!(stats.cycles > 0);
@@ -21,7 +25,7 @@ fn budget_is_exact_for_every_core() {
 #[test]
 fn all_catalog_workloads_complete_under_chunked_execution() {
     for w in workload::catalog() {
-        let r = RunSpec::new(w.clone(), 2, 11, 3_000);
+        let r = RunSpec::new(*w, 2, 11, 3_000);
         let stats = run(&r, &EngineConfig::recording(400), &mut BulkScHooks);
         assert_eq!(stats.digest.retired, vec![3_000; 2], "{}", w.name);
         let expected_chunks: u64 = stats.digest.committed_chunks.iter().sum();
@@ -74,25 +78,68 @@ fn locked_double_counter(map: &delorean_isa::layout::AddressMap) -> Program {
     let la = Reg::new(5);
     p.emit(Inst::Imm { rd: r0, value: 0 });
     p.emit(Inst::Imm { rd: one, value: 1 });
-    p.emit(Inst::Imm { rd: la, value: lock });
+    p.emit(Inst::Imm {
+        rd: la,
+        value: lock,
+    });
     let top = p.here();
     // acquire
     p.emit(Inst::Imm { rd: exp, value: 0 });
     let spin = p.here();
-    p.emit(Inst::Cas { rd: got, base: la, offset: 0, expected: exp, desired: one });
-    p.emit(Inst::BranchEq { ra: got, rb: r0, target: spin });
+    p.emit(Inst::Cas {
+        rd: got,
+        base: la,
+        offset: 0,
+        expected: exp,
+        desired: one,
+    });
+    p.emit(Inst::BranchEq {
+        ra: got,
+        rb: r0,
+        target: spin,
+    });
     // counter a += 1
     p.emit(Inst::Imm { rd: tmp, value: a });
-    p.emit(Inst::Load { rd: got, base: tmp, offset: 0 });
-    p.emit(Inst::Alu { rd: got, ra: got, rb: one, op: AluOp::Add });
-    p.emit(Inst::Store { rs: got, base: tmp, offset: 0 });
+    p.emit(Inst::Load {
+        rd: got,
+        base: tmp,
+        offset: 0,
+    });
+    p.emit(Inst::Alu {
+        rd: got,
+        ra: got,
+        rb: one,
+        op: AluOp::Add,
+    });
+    p.emit(Inst::Store {
+        rs: got,
+        base: tmp,
+        offset: 0,
+    });
     // counter b += 1
     p.emit(Inst::Imm { rd: tmp, value: b });
-    p.emit(Inst::Load { rd: got, base: tmp, offset: 0 });
-    p.emit(Inst::Alu { rd: got, ra: got, rb: one, op: AluOp::Add });
-    p.emit(Inst::Store { rs: got, base: tmp, offset: 0 });
+    p.emit(Inst::Load {
+        rd: got,
+        base: tmp,
+        offset: 0,
+    });
+    p.emit(Inst::Alu {
+        rd: got,
+        ra: got,
+        rb: one,
+        op: AluOp::Add,
+    });
+    p.emit(Inst::Store {
+        rs: got,
+        base: tmp,
+        offset: 0,
+    });
     // release
-    p.emit(Inst::Store { rs: r0, base: la, offset: 0 });
+    p.emit(Inst::Store {
+        rs: r0,
+        base: la,
+        offset: 0,
+    });
     p.emit(Inst::Jump { target: top });
     p.build(0, None)
 }
@@ -111,7 +158,11 @@ fn chunk_atomicity_preserves_locked_invariant() {
     // programs itself from the WorkloadSpec, so instead we check the
     // invariant through the catalog path: the `raytrace` lock-heavy
     // workload keeps every lock word at 0/1.
-    let _ = (AddressMap::new(2), WorkloadKind::Splash, locked_double_counter);
+    let _ = (
+        AddressMap::new(2),
+        WorkloadKind::Splash,
+        locked_double_counter,
+    );
     let r = spec("raytrace", 8, 21, 6_000);
     let mut cfg = EngineConfig::recording(150);
     cfg.overflow_noise = 0.001;
@@ -137,7 +188,10 @@ fn contended_workloads_squash_and_uncontended_barely() {
 fn commercial_workload_truncates_on_uncached_accesses() {
     let r = spec("sweb2005", 2, 13, 20_000);
     let stats = run(&r, &EngineConfig::recording(1_000), &mut BulkScHooks);
-    assert!(stats.uncached_truncations > 0, "I/O sites must truncate chunks");
+    assert!(
+        stats.uncached_truncations > 0,
+        "I/O sites must truncate chunks"
+    );
 }
 
 #[test]
@@ -167,10 +221,7 @@ struct RoundRobin {
 }
 
 impl ExecutionHooks for RoundRobin {
-    fn next_grant(
-        &mut self,
-        ctx: &delorean_chunk::ArbiterContext<'_>,
-    ) -> Option<Committer> {
+    fn next_grant(&mut self, ctx: &delorean_chunk::ArbiterContext<'_>) -> Option<Committer> {
         delorean_chunk::policy::round_robin(ctx, self.cursor)
     }
 
@@ -209,9 +260,9 @@ fn single_core_chunked_stream_matches_plain_vm_execution() {
     // the handler never runs because interrupts are off).
     use delorean_isa::layout::AddressMap;
     use delorean_isa::{FlatMemory, NullIo, Vm};
-    let w = workload::by_name("lu").unwrap().clone();
+    let w = *workload::by_name("lu").unwrap();
     let budget = 7_000u64;
-    let r = RunSpec::new(w.clone(), 1, 31, budget);
+    let r = RunSpec::new(w, 1, 31, budget);
     let stats = run(&r, &EngineConfig::recording(512), &mut BulkScHooks);
 
     let map = AddressMap::new(1);
@@ -243,7 +294,10 @@ fn fewer_simultaneous_chunks_stalls_more() {
     );
     let s1: u64 = one.stall_cycles.iter().sum();
     let s4: u64 = four.stall_cycles.iter().sum();
-    assert!(s1 >= s4, "1 slot ({s1}) should stall at least as much as 4 ({s4})");
+    assert!(
+        s1 >= s4,
+        "1 slot ({s1}) should stall at least as much as 4 ({s4})"
+    );
     assert!(one.cycles >= four.cycles);
 }
 
@@ -260,26 +314,45 @@ fn variable_chunking_produces_smaller_average_chunks() {
 #[test]
 fn device_interrupts_are_delivered_and_counted() {
     let mut cfg = EngineConfig::recording(800);
-    cfg.devices = delorean_chunk::DeviceConfig { irq_period: 5_000, dma_period: 0, dma_words: 0 };
+    cfg.devices = delorean_chunk::DeviceConfig {
+        irq_period: 5_000,
+        dma_period: 0,
+        dma_words: 0,
+    };
     let stats = run(&spec("barnes", 2, 3, 20_000), &cfg, &mut BulkScHooks);
     assert!(stats.interrupts > 0, "interrupts must fire at this period");
     assert_eq!(stats.dma_commits, 0);
-    assert_eq!(stats.digest.retired, vec![20_000; 2], "handler instructions count too");
+    assert_eq!(
+        stats.digest.retired,
+        vec![20_000; 2],
+        "handler instructions count too"
+    );
 }
 
 #[test]
 fn dma_commits_like_a_processor() {
     let mut cfg = EngineConfig::recording(800);
-    cfg.devices = delorean_chunk::DeviceConfig { irq_period: 0, dma_period: 6_000, dma_words: 16 };
+    cfg.devices = delorean_chunk::DeviceConfig {
+        irq_period: 0,
+        dma_period: 6_000,
+        dma_words: 16,
+    };
     let stats = run(&spec("lu", 2, 3, 15_000), &cfg, &mut BulkScHooks);
     assert!(stats.dma_commits > 0);
-    assert!(stats.total_commits > stats.dma_commits, "processor chunks also commit");
+    assert!(
+        stats.total_commits > stats.dma_commits,
+        "processor chunks also commit"
+    );
 }
 
 #[test]
 fn replay_config_suppresses_device_generation() {
     let mut cfg = EngineConfig::recording(800);
-    cfg.devices = delorean_chunk::DeviceConfig { irq_period: 5_000, dma_period: 6_000, dma_words: 8 };
+    cfg.devices = delorean_chunk::DeviceConfig {
+        irq_period: 5_000,
+        dma_period: 6_000,
+        dma_words: 8,
+    };
     let rep = EngineConfig::replay_of(&cfg, 99);
     // With default hooks (no logs to inject), a replay-shaped run sees
     // no device events at all.

@@ -29,12 +29,20 @@ impl Args {
 
     /// Last value of `flag`, if present.
     pub fn get(&self, flag: &str) -> Option<String> {
-        self.flags.iter().rev().find(|(f, _)| f == flag).map(|(_, v)| v.clone())
+        self.flags
+            .iter()
+            .rev()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.clone())
     }
 
     /// All values of a repeatable flag.
     pub fn get_all(&self, flag: &str) -> Vec<String> {
-        self.flags.iter().filter(|(f, _)| f == flag).map(|(_, v)| v.clone()).collect()
+        self.flags
+            .iter()
+            .filter(|(f, _)| f == flag)
+            .map(|(_, v)| v.clone())
+            .collect()
     }
 
     /// Numeric flag value.

@@ -11,9 +11,12 @@
 //! ```
 
 use delorean::inspect::ReplayInspector;
-use delorean::{serialize, Machine, Mode, Recording};
+use delorean::stream::StreamMeta;
+use delorean::{serialize, FileSink, FileSource, LogSource, Machine, Mode, Recording};
 use delorean_chunk::Committer;
 use delorean_isa::workload;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 mod args;
@@ -58,7 +61,10 @@ fn run(argv: &[String]) -> Result<(), String> {
 }
 
 fn cmd_list() -> Result<(), String> {
-    println!("{:<11} {:>6} {:>6} {:>6} {:>7}  kind", "workload", "mem%", "shared%", "write%", "locks");
+    println!(
+        "{:<11} {:>6} {:>6} {:>6} {:>7}  kind",
+        "workload", "mem%", "shared%", "write%", "locks"
+    );
     for w in workload::catalog() {
         println!(
             "{:<11} {:>6.0} {:>7.0} {:>6.0} {:>7}  {:?}",
@@ -66,7 +72,11 @@ fn cmd_list() -> Result<(), String> {
             w.mem_frac * 100.0,
             w.shared_frac * 100.0,
             w.write_frac * 100.0,
-            if w.lock_every == 0 { "-".to_string() } else { w.lock_count.to_string() },
+            if w.lock_every == 0 {
+                "-".to_string()
+            } else {
+                w.lock_count.to_string()
+            },
             w.kind
         );
     }
@@ -78,7 +88,9 @@ fn parse_mode(s: &str) -> Result<Mode, String> {
         "ordersize" | "order&size" | "os" => Ok(Mode::OrderSize),
         "orderonly" | "oo" => Ok(Mode::OrderOnly),
         "picolog" | "pl" => Ok(Mode::PicoLog),
-        other => Err(format!("unknown mode {other} (ordersize|orderonly|picolog)")),
+        other => Err(format!(
+            "unknown mode {other} (ordersize|orderonly|picolog)"
+        )),
     }
 }
 
@@ -92,8 +104,31 @@ fn machine_for(recording: &Recording) -> Machine {
         .build()
 }
 
+fn machine_from_meta(meta: &StreamMeta) -> Machine {
+    Machine::builder()
+        .mode(meta.mode)
+        .procs(meta.n_procs)
+        .chunk_size(meta.chunk_size)
+        .budget(meta.budget)
+        .devices(meta.devices)
+        .build()
+}
+
+fn recording_path(args: &Args) -> Result<&String, String> {
+    args.positional
+        .first()
+        .ok_or_else(|| "missing recording file".to_string())
+}
+
+/// Opens a `.dlrn` file as a streaming log source; only the header is
+/// read eagerly, segments are decoded on demand.
+fn open_source(path: &str) -> Result<FileSource<BufReader<File>>, String> {
+    let file = File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+    FileSource::open(BufReader::new(file)).map_err(|e| format!("decoding {path}: {e}"))
+}
+
 fn load(args: &Args) -> Result<Recording, String> {
-    let path = args.positional.first().ok_or("missing recording file")?;
+    let path = recording_path(args)?;
     let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
     serialize::from_bytes(&bytes).map_err(|e| format!("decoding {path}: {e}"))
 }
@@ -102,8 +137,15 @@ fn cmd_record(args: &Args) -> Result<(), String> {
     let name = args.positional.first().ok_or("missing workload name")?;
     let w = workload::by_name(name)
         .ok_or_else(|| format!("unknown workload {name} (try `delorean list`)"))?;
-    let out = args.get("-o").or_else(|| args.get("--out")).ok_or("missing -o <file>")?;
-    let mode = args.get("--mode").map(|s| parse_mode(&s)).transpose()?.unwrap_or(Mode::OrderOnly);
+    let out = args
+        .get("-o")
+        .or_else(|| args.get("--out"))
+        .ok_or("missing -o <file>")?;
+    let mode = args
+        .get("--mode")
+        .map(|s| parse_mode(&s))
+        .transpose()?
+        .unwrap_or(Mode::OrderOnly);
     let mut b = Machine::builder();
     b.mode(mode);
     b.procs(args.num("--procs")?.unwrap_or(8) as u32);
@@ -116,20 +158,28 @@ fn cmd_record(args: &Args) -> Result<(), String> {
     }
     let machine = b.build();
     let seed = args.num("--seed")?.unwrap_or(2026);
-    let recording = machine.record(w, seed);
-    let bytes = serialize::to_bytes(&recording);
-    std::fs::write(&out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    let file = File::create(&out).map_err(|e| format!("creating {out}: {e}"))?;
+    let mut sink = FileSink::new(BufWriter::new(file));
+    let stats = machine.record_to(w, seed, &mut sink);
+    let peak = sink.peak_buffered_bytes();
+    let written = sink.bytes_written();
+    let writer = sink
+        .into_inner()
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    writer
+        .into_inner()
+        .map_err(|e| format!("writing {out}: {e}"))?;
     println!(
-        "recorded {name} ({mode}, {} procs, {} insts/proc) -> {out} ({} bytes)",
-        recording.n_procs,
-        recording.budget,
-        bytes.len()
+        "recorded {name} ({mode}, {} procs, {} insts/proc) -> {out} ({written} bytes, streamed)",
+        machine.procs(),
+        machine.budget(),
     );
+    let kiloinsts = machine.procs() as f64 * machine.budget() as f64 / 1000.0;
     println!(
-        "memory-ordering log: {:.3} compressed bits/proc/kilo-instruction, {} commits, {} squashes",
-        recording.compressed_bits_per_proc_per_kiloinst(),
-        recording.stats.total_commits,
-        recording.stats.squashes
+        "log stream: {:.3} bits/proc/kilo-instruction on disk, {} commits, {} squashes, peak buffer {peak} bytes",
+        written as f64 * 8.0 / kiloinsts,
+        stats.total_commits,
+        stats.squashes
     );
     Ok(())
 }
@@ -170,31 +220,47 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_replay(args: &Args) -> Result<(), String> {
-    let r = load(args)?;
-    let machine = machine_for(&r);
     let seed = args.num("--seed")?.unwrap_or(0x5a5a);
     let report = if let Some(max) = args.num("--stratified")? {
-        machine
+        // Stratification needs the chunk footprints resident, so this
+        // path still decodes the whole recording up front.
+        let r = load(args)?;
+        if !r.mode.has_pi_log() {
+            return Err(format!("{} recordings have no PI log to stratify", r.mode));
+        }
+        machine_for(&r)
             .replay_stratified(&r, max as u32, seed)
             .map_err(|e| e.to_string())?
     } else {
-        machine.replay_with_seed(&r, seed).map_err(|e| e.to_string())?
+        let path = recording_path(args)?;
+        let source = open_source(path)?;
+        let meta = source
+            .meta()
+            .ok_or("stream carries no recording metadata")?;
+        let machine = machine_from_meta(meta);
+        machine
+            .replay_from_with_seed(source, seed)
+            .map_err(|e| e.to_string())?
     };
     println!(
-        "replayed {} commits in {} cycles (recording took {})",
-        report.stats.total_commits, report.stats.cycles, r.stats.cycles
+        "replayed {} commits in {} cycles",
+        report.stats.total_commits, report.stats.cycles
     );
     if report.deterministic {
         println!("deterministic: yes — execution reproduced bit-exactly");
         Ok(())
     } else {
-        Err(format!("replay diverged: {}", report.divergence.unwrap_or_default()))
+        Err(format!(
+            "replay diverged: {}",
+            report.divergence.unwrap_or_default()
+        ))
     }
 }
 
 fn cmd_inspect(args: &Args) -> Result<(), String> {
-    let r = load(args)?;
-    let mut inspector = ReplayInspector::new(&r);
+    let path = recording_path(args)?.clone();
+    let mut inspector =
+        ReplayInspector::from_source(open_source(&path)?).map_err(|e| e.to_string())?;
     for w in args.get_all("--watch") {
         let addr = parse_addr(&w)?;
         inspector.watch(addr);
@@ -209,7 +275,10 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
                 Committer::Proc(p) => format!("P{p}"),
                 Committer::Dma => "DMA".to_string(),
             };
-            print!("GCC {:>5}  {who:<4} chunk {:>4} size {:>5}", ev.gcc, ev.chunk_index, ev.size);
+            print!(
+                "GCC {:>5}  {who:<4} chunk {:>4} size {:>5}",
+                ev.gcc, ev.chunk_index, ev.size
+            );
             if ev.interrupt {
                 print!("  [interrupt]");
             }
@@ -221,7 +290,9 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
         }
     }
     let report = {
-        let mut check = ReplayInspector::new(&r);
+        // A second streaming pass verifies the digest against the trailer.
+        let mut check =
+            ReplayInspector::from_source(open_source(&path)?).map_err(|e| e.to_string())?;
         check.run_to_end().map_err(|e| e.to_string())?
     };
     println!(

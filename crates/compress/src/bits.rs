@@ -74,7 +74,7 @@ impl BitWriter {
     /// This is the generic varint used by the baseline recorders for
     /// instruction-count deltas.
     pub fn write_varint(&mut self, mut value: u64, group: u32) {
-        assert!(group >= 1 && group <= 32, "group must be in 1..=32");
+        assert!((1..=32).contains(&group), "group must be in 1..=32");
         loop {
             let low = value & ((1u64 << group) - 1);
             value >>= group;

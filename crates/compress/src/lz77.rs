@@ -77,9 +77,21 @@ pub fn compressed_bits(data: &[u8]) -> u64 {
 fn compress_into(data: &[u8], w: &mut BitWriter) {
     let mut head = vec![usize::MAX; HASH_SIZE];
     let mut prev = vec![usize::MAX; data.len()];
-    let mut i = 0usize;
+    compress_from(data, 0, &mut head, &mut prev, w);
+}
+
+/// Emits tokens for `data[start..]`; positions below `start` must already
+/// be inserted in the chains so matches can reach into that history.
+fn compress_from(
+    data: &[u8],
+    start: usize,
+    head: &mut [usize],
+    prev: &mut [usize],
+    w: &mut BitWriter,
+) {
+    let mut i = start;
     while i < data.len() {
-        let (len, dist) = best_match(data, i, &head, &prev);
+        let (len, dist) = best_match(data, i, head, prev);
         if len >= MIN_MATCH {
             w.write_bit(true);
             w.write_bits((dist - 1) as u64, DIST_BITS);
@@ -171,6 +183,155 @@ pub fn decompress(packed: &[u8]) -> Result<Vec<u8>, DecompressError> {
     Ok(out)
 }
 
+/// Incremental LZ77 encoder for streaming log persistence.
+///
+/// Bytes are buffered with [`push`](Encoder::push) and emitted as
+/// self-contained *blocks* with [`flush_block`](Encoder::flush_block).
+/// Each block carries its own 32-bit uncompressed-length header and
+/// token stream (the same format as [`compress`]), but match distances
+/// may reach back up to [`WINDOW`] bytes into *previously flushed*
+/// data, so a long run flushed in segments compresses almost as well as
+/// a single [`compress`] call while the encoder's live state stays
+/// bounded by `WINDOW + pending` bytes — the property the streaming
+/// `.dlrn` writer needs for O(segment) peak buffering.
+///
+/// Blocks must be decoded in order by a [`Decoder`] that has seen the
+/// same prefix of the stream.
+///
+/// # Examples
+///
+/// ```
+/// use delorean_compress::lz77::{Decoder, Encoder};
+/// let mut enc = Encoder::new();
+/// let mut dec = Decoder::new();
+/// let mut out = Vec::new();
+/// for chunk in [&b"abcabcabc"[..], b"abcabcabcabc", b"xyzxyz"] {
+///     enc.push(chunk);
+///     let block = enc.flush_block();
+///     out.extend(dec.decode_block(&block).unwrap());
+/// }
+/// assert_eq!(out, b"abcabcabcabcabcabcabcxyzxyz");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Encoder {
+    /// Last `<= WINDOW` bytes of already-flushed output.
+    history: Vec<u8>,
+    /// Bytes pushed since the last flush.
+    pending: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an encoder with empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers `bytes` for the next block.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.pending.extend_from_slice(bytes);
+    }
+
+    /// Number of bytes buffered but not yet flushed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Compresses and drains the pending bytes into one block.
+    ///
+    /// Returns the packed block (possibly encoding zero bytes, which
+    /// yields a valid empty block). The flushed bytes enter the match
+    /// window for subsequent blocks.
+    pub fn flush_block(&mut self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.write_bits(self.pending.len() as u64, 32);
+
+        // Concatenate retained history and pending bytes, seed the hash
+        // chains with every history position, then emit tokens only for
+        // the pending region. Distances stay within WINDOW, so matches
+        // can span the flush boundary without unbounded state.
+        let mut data = Vec::with_capacity(self.history.len() + self.pending.len());
+        data.extend_from_slice(&self.history);
+        data.extend_from_slice(&self.pending);
+        let start = self.history.len();
+        let mut head = vec![usize::MAX; HASH_SIZE];
+        let mut prev = vec![usize::MAX; data.len()];
+        let indexed = start.min(data.len().saturating_sub(MIN_MATCH - 1));
+        for (j, slot) in prev.iter_mut().enumerate().take(indexed) {
+            let h = hash3(&data, j);
+            *slot = head[h];
+            head[h] = j;
+        }
+        compress_from(&data, start, &mut head, &mut prev, &mut w);
+
+        let keep = data.len().min(WINDOW);
+        self.history = data[data.len() - keep..].to_vec();
+        self.pending.clear();
+        w.into_bytes()
+    }
+}
+
+/// Incremental LZ77 decoder matching [`Encoder`].
+///
+/// Decodes blocks in stream order, retaining the last [`WINDOW`] bytes
+/// of output so cross-block match distances resolve.
+#[derive(Debug, Clone, Default)]
+pub struct Decoder {
+    /// Last `<= WINDOW` bytes of already-decoded output.
+    history: Vec<u8>,
+}
+
+impl Decoder {
+    /// Creates a decoder with empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decodes one block produced by [`Encoder::flush_block`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecompressError`] if the block is truncated or a match
+    /// references data before the start of the stream.
+    pub fn decode_block(&mut self, packed: &[u8]) -> Result<Vec<u8>, DecompressError> {
+        let mut r = BitReader::new(packed);
+        let total = r.read_bits(32).ok_or(DecompressError)? as usize;
+
+        // Decode into history + new output so distances can cross the
+        // block boundary, then split the new bytes back out.
+        let base = self.history.len();
+        let mut out = std::mem::take(&mut self.history);
+        // `total` is untrusted input: cap the up-front reservation so a
+        // corrupt header cannot force a huge allocation (the vec still
+        // grows as far as the bitstream actually decodes).
+        out.reserve(total.min(1 << 20));
+        while out.len() - base < total {
+            let is_match = r.read_bit().ok_or(DecompressError)?;
+            if is_match {
+                let dist = r.read_bits(DIST_BITS).ok_or(DecompressError)? as usize + 1;
+                let len = r.read_bits(LEN_BITS).ok_or(DecompressError)? as usize + MIN_MATCH;
+                if dist > out.len() {
+                    self.history = out;
+                    self.history.truncate(base);
+                    return Err(DecompressError);
+                }
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                let b = r.read_bits(8).ok_or(DecompressError)? as u8;
+                out.push(b);
+            }
+        }
+        out.truncate(base + total);
+        let produced = out[base..].to_vec();
+        let keep = out.len().min(WINDOW);
+        self.history = out.split_off(out.len() - keep);
+        Ok(produced)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,8 +359,7 @@ mod tests {
     #[test]
     fn overlapping_match_round_trip() {
         // "aaaa..." forces dist=1 matches that overlap the output cursor.
-        let mut data = b"a".to_vec();
-        data.extend(std::iter::repeat(b'a').take(500));
+        let data = vec![b'a'; 501];
         assert_eq!(decompress(&compress(&data)).unwrap(), data);
     }
 
@@ -237,5 +397,96 @@ mod tests {
     #[test]
     fn display_error() {
         assert_eq!(DecompressError.to_string(), "malformed LZ77 stream");
+    }
+
+    #[test]
+    fn streaming_round_trips_random_splits() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let data: Vec<u8> = (0..20_000)
+            .map(|i: u32| ((i % 11) | ((i % 5) << 4)) as u8)
+            .collect();
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < data.len() {
+            let n = (rng.gen_range(1usize..2_000)).min(data.len() - i);
+            enc.push(&data[i..i + n]);
+            assert_eq!(enc.pending_len(), n);
+            let block = enc.flush_block();
+            out.extend(dec.decode_block(&block).unwrap());
+            i += n;
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn streaming_matches_cross_block_boundaries() {
+        // Second block is an exact repeat of the first; with history
+        // carry-over it must compress to far less than its raw size.
+        let rep = vec![0xabu8; 2_000];
+        let mut enc = Encoder::new();
+        enc.push(&rep);
+        enc.flush_block();
+        enc.push(&rep[..1_000]);
+        let block2 = enc.flush_block();
+        assert!(block2.len() < 100, "block2 is {} bytes", block2.len());
+
+        let mut dec = Decoder::new();
+        let mut enc2 = Encoder::new();
+        enc2.push(&rep);
+        assert_eq!(dec.decode_block(&enc2.flush_block()).unwrap(), rep);
+        assert_eq!(dec.decode_block(&block2).unwrap(), rep[..1_000]);
+    }
+
+    #[test]
+    fn streaming_empty_blocks_are_valid() {
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        let empty = enc.flush_block();
+        assert_eq!(dec.decode_block(&empty).unwrap(), Vec::<u8>::new());
+        enc.push(b"data");
+        let block = enc.flush_block();
+        assert_eq!(dec.decode_block(&block).unwrap(), b"data");
+    }
+
+    #[test]
+    fn streaming_close_to_one_shot_ratio() {
+        // PI-log-like stream: segmented compression with window
+        // carry-over should stay within 2x of the one-shot size.
+        let data: Vec<u8> = (0..32 * 1024u32)
+            .map(|i| ((i % 9) | ((i % 7) << 4)) as u8)
+            .collect();
+        let one_shot = compress(&data).len();
+        let mut enc = Encoder::new();
+        let mut segmented = 0usize;
+        for chunk in data.chunks(1024) {
+            enc.push(chunk);
+            segmented += enc.flush_block().len();
+        }
+        assert!(
+            segmented < one_shot * 2,
+            "segmented {segmented} vs one-shot {one_shot}"
+        );
+    }
+
+    #[test]
+    fn streaming_decoder_rejects_bad_distance() {
+        let mut w = crate::BitWriter::new();
+        w.write_bits(4, 32); // claims 4 bytes
+        w.write_bit(true); // match token...
+        w.write_bits(100, DIST_BITS); // ...reaching before the stream start
+        w.write_bits(0, LEN_BITS);
+        let mut dec = Decoder::new();
+        assert_eq!(dec.decode_block(&w.into_bytes()), Err(DecompressError));
+    }
+
+    #[test]
+    fn streaming_decoder_rejects_truncated_block() {
+        let mut enc = Encoder::new();
+        enc.push(b"hello hello hello hello");
+        let block = enc.flush_block();
+        let mut dec = Decoder::new();
+        assert_eq!(dec.decode_block(&block[..2]), Err(DecompressError));
     }
 }

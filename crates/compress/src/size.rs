@@ -110,8 +110,7 @@ mod tests {
         // 0.05 bits/proc/kiloinst at IPC=1, 8 procs, 5GHz ~= 21.6 GB/day.
         let procs = 8u32;
         let insts = 1_000_000u64;
-        let bits =
-            (0.05 * (insts as f64 / f64::from(procs)) / 1000.0 * f64::from(procs)) as u64;
+        let bits = (0.05 * (insts as f64 / f64::from(procs)) / 1000.0 * f64::from(procs)) as u64;
         let size = LogSize {
             raw_bits: bits,
             compressed_bits: bits,

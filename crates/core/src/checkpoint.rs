@@ -97,7 +97,12 @@ impl IntervalCheckpoint {
     /// checkpoint — the base for the follow-on interval's absolute
     /// budget.
     pub fn max_retired(&self) -> u64 {
-        self.state.vm_states.iter().map(|v| v.retired()).max().unwrap_or(0)
+        self.state
+            .vm_states
+            .iter()
+            .map(|v| v.retired())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Content-derived identifier (covers the memory image and the

@@ -24,21 +24,36 @@ pub enum ReplayError {
         /// Human-readable description of the first observed mismatch.
         detail: String,
     },
+    /// The log source failed mid-replay: the stream is corrupt,
+    /// truncated, or missing required metadata.
+    Source {
+        /// Human-readable description of the stream failure.
+        detail: String,
+    },
 }
 
 impl core::fmt::Display for ReplayError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            ReplayError::MachineMismatch { recorded, replaying } => write!(
+            ReplayError::MachineMismatch {
+                recorded,
+                replaying,
+            } => write!(
                 f,
                 "recording was made on {recorded} processors but the machine has {replaying}"
             ),
-            ReplayError::ModeMismatch { recorded, replaying } => write!(
+            ReplayError::ModeMismatch {
+                recorded,
+                replaying,
+            } => write!(
                 f,
                 "recording was made in {recorded} mode but the machine is in {replaying} mode"
             ),
             ReplayError::Diverged { detail } => {
                 write!(f, "replay diverged from the recording: {detail}")
+            }
+            ReplayError::Source { detail } => {
+                write!(f, "replay log source failed: {detail}")
             }
         }
     }
@@ -52,14 +67,19 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = ReplayError::MachineMismatch { recorded: 8, replaying: 4 };
+        let e = ReplayError::MachineMismatch {
+            recorded: 8,
+            replaying: 4,
+        };
         assert!(e.to_string().contains('8'));
         let e = ReplayError::ModeMismatch {
             recorded: crate::Mode::PicoLog,
             replaying: crate::Mode::OrderOnly,
         };
         assert!(e.to_string().contains("PicoLog"));
-        let e = ReplayError::Diverged { detail: "memory hash".into() };
+        let e = ReplayError::Diverged {
+            detail: "memory hash".into(),
+        };
         assert!(e.to_string().contains("memory hash"));
     }
 }

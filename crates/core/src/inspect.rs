@@ -3,9 +3,9 @@
 //! The paper motivates deterministic replay as a *debugging* substrate:
 //! re-create the captured interleaving and illuminate what brought the
 //! execution to a buggy state. This module provides exactly that
-//! workflow in software: [`ReplayInspector`] interprets a recording's
-//! logs directly — executing chunks serially, one commit at a time, in
-//! the recorded commit order — with:
+//! workflow in software: [`ReplayInspector`] interprets a recorded log
+//! stream directly — executing chunks serially, one commit at a time,
+//! in the recorded commit order — with:
 //!
 //! * **stepping**: one [`CommitEvent`] per chunk/DMA commit, carrying
 //!   the committer, chunk index and size;
@@ -13,6 +13,11 @@
 //!   watched address, with old and new values — "which chunk clobbered
 //!   this word?";
 //! * **state inspection**: read any memory word between commits.
+//!
+//! The inspector is generic over its [`LogSource`]: it can walk an
+//! in-memory [`Recording`] or decode a `.dlrn` stream incrementally
+//! through a [`FileSource`](crate::FileSource), never holding the whole
+//! log.
 //!
 //! Because the inspector shares *no code* with the event-driven timing
 //! engine (`delorean-chunk`), running both against the same recording
@@ -35,6 +40,7 @@
 
 use crate::machine::Recording;
 use crate::mode::Mode;
+use crate::stream::{LogSource, MemorySource};
 use delorean_chunk::Committer;
 use delorean_isa::layout::AddressMap;
 use delorean_isa::{Addr, DataMemory, IoBus, Program, StepKind, Vm, Word};
@@ -117,17 +123,17 @@ impl DataMemory for WatchMem<'_> {
 }
 
 /// I/O bus that feeds logged values back.
-struct LogIo<'a> {
-    recording: &'a Recording,
-    core: usize,
+struct LogIo<'a, S: LogSource> {
+    source: &'a mut S,
+    core: u32,
     chunk_index: u64,
     seq: u32,
     missing: bool,
 }
 
-impl IoBus for LogIo<'_> {
+impl<S: LogSource> IoBus for LogIo<'_, S> {
     fn io_load(&mut self, _port: u16) -> Word {
-        let v = self.recording.logs.io[self.core].value(self.chunk_index, self.seq);
+        let v = self.source.io_value(self.core, self.chunk_index, self.seq);
         self.seq += 1;
         match v {
             Some(v) => v,
@@ -140,33 +146,57 @@ impl IoBus for LogIo<'_> {
     fn io_store(&mut self, _port: u16, _value: Word) {}
 }
 
-/// Serial, software-only replayer over a recording's logs.
+/// Serial, software-only replayer over a recorded log stream.
 #[derive(Debug)]
-pub struct ReplayInspector<'r> {
-    recording: &'r Recording,
+pub struct ReplayInspector<S: LogSource> {
+    source: S,
+    mode: Mode,
+    n_procs: u32,
+    budget: u64,
+    chunk_size: u32,
     memory: Memory,
     vms: Vec<Vm>,
     programs: Vec<Program>,
     chunks_done: Vec<u64>,
-    pi_cursor: usize,
     rr_cursor: u32,
-    dma_cursor: usize,
-    dma_slot_cursor: usize,
     gcc: u64,
     watches: HashSet<Addr>,
     done: bool,
 }
 
-impl<'r> ReplayInspector<'r> {
+impl<'r> ReplayInspector<MemorySource<'r>> {
     /// Builds an inspector positioned at the recording's starting
     /// checkpoint (the initial state, or the interval checkpoint for
     /// recordings made with
     /// [`Machine::record_interval`](crate::Machine::record_interval)).
     pub fn new(recording: &'r Recording) -> Self {
-        let map = AddressMap::new(recording.n_procs);
-        let programs =
-            recording.workload.programs(recording.n_procs, &map, recording.app_seed);
-        let mut vms: Vec<Vm> = (0..recording.n_procs)
+        Self::from_source(MemorySource::of_recording(recording))
+            .expect("a recording always carries its metadata")
+    }
+}
+
+impl<S: LogSource> ReplayInspector<S> {
+    /// Builds an inspector over any log source (e.g. a streaming
+    /// [`FileSource`](crate::FileSource)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InspectError`] when the source carries no stream
+    /// metadata (the inspector cannot reconstruct the start state
+    /// without it).
+    pub fn from_source(source: S) -> Result<Self, InspectError> {
+        let Some(meta) = source.meta() else {
+            return Err(InspectError {
+                detail: "log source carries no recording metadata".to_string(),
+            });
+        };
+        let mode = meta.mode;
+        let n_procs = meta.n_procs;
+        let budget = meta.budget;
+        let chunk_size = meta.chunk_size;
+        let map = AddressMap::new(n_procs);
+        let programs = meta.workload.programs(n_procs, &map, meta.app_seed);
+        let mut vms: Vec<Vm> = (0..n_procs)
             .map(|t| {
                 let mut vm = Vm::new(t, &map);
                 vm.set_pc(programs[t as usize].entry());
@@ -174,28 +204,29 @@ impl<'r> ReplayInspector<'r> {
             })
             .collect();
         let mut memory = Memory::new(map.total_words());
-        let mut chunks_done = vec![0; recording.n_procs as usize];
-        if let Some(start) = &recording.interval {
+        let mut chunks_done = vec![0; n_procs as usize];
+        if let Some(start) = &meta.interval {
             memory = Memory::from_image(start.memory.clone());
             for (vm, st) in vms.iter_mut().zip(&start.vm_states) {
                 vm.restore(st);
             }
             chunks_done.copy_from_slice(&start.chunks_done);
         }
-        Self {
-            recording,
+        Ok(Self {
+            source,
+            mode,
+            n_procs,
+            budget,
+            chunk_size,
             memory,
             vms,
             programs,
             chunks_done,
-            pi_cursor: 0,
             rr_cursor: 0,
-            dma_cursor: 0,
-            dma_slot_cursor: 0,
             gcc: 0,
             watches: HashSet::new(),
             done: false,
-        }
+        })
     }
 
     /// Captures the full architectural state at the current replay
@@ -235,29 +266,25 @@ impl<'r> ReplayInspector<'r> {
     }
 
     fn finished(&self, p: usize) -> bool {
-        self.vms[p].retired() >= self.recording.budget || self.vms[p].halted()
+        self.vms[p].retired() >= self.budget || self.vms[p].halted()
     }
 
-    fn next_committer(&self) -> Result<Option<Committer>, InspectError> {
-        match self.recording.mode {
-            Mode::OrderSize | Mode::OrderOnly => {
-                Ok(self.recording.logs.pi.get(self.pi_cursor))
-            }
+    fn next_committer(&mut self) -> Option<Committer> {
+        match self.mode {
+            Mode::OrderSize | Mode::OrderOnly => self.source.pi_peek(),
             Mode::PicoLog => {
-                if let Some(slot) = self.recording.logs.dma.slot(self.dma_slot_cursor) {
-                    if slot == self.gcc {
-                        return Ok(Some(Committer::Dma));
-                    }
+                if self.source.dma_slot_matches(self.gcc) {
+                    return Some(Committer::Dma);
                 }
-                let n = self.recording.n_procs;
+                let n = self.n_procs;
                 let mut cur = self.rr_cursor % n;
                 for _ in 0..n {
                     if !self.finished(cur as usize) {
-                        return Ok(Some(Committer::Proc(cur)));
+                        return Some(Committer::Proc(cur));
                     }
                     cur = (cur + 1) % n;
                 }
-                Ok(None)
+                None
             }
         }
     }
@@ -274,31 +301,32 @@ impl<'r> ReplayInspector<'r> {
         if self.done {
             return Ok(None);
         }
-        let Some(committer) = self.next_committer()? else {
+        let Some(committer) = self.next_committer() else {
             self.done = true;
             return Ok(None);
         };
         match committer {
             Committer::Dma => {
-                let Some(data) = self.recording.logs.dma.transfer(self.dma_cursor) else {
-                    return Err(InspectError { detail: "DMA log exhausted".to_string() });
+                let Some(data) = self.source.dma_next() else {
+                    return Err(InspectError {
+                        detail: "DMA log exhausted".to_string(),
+                    });
                 };
                 let mut hits = Vec::new();
-                for &(addr, value) in data {
+                for &(addr, value) in &data {
                     if self.watches.contains(&addr) {
                         let old = self.memory.peek(addr);
                         if old != value {
-                            hits.push(WatchHit { addr, old, new: value });
+                            hits.push(WatchHit {
+                                addr,
+                                old,
+                                new: value,
+                            });
                         }
                     }
                     self.memory.store(addr, value);
                 }
-                self.dma_cursor += 1;
-                if self.recording.mode == Mode::PicoLog {
-                    self.dma_slot_cursor += 1;
-                } else {
-                    self.pi_cursor += 1; // the DMA's PI entry
-                }
+                self.source.note_commit(Committer::Dma);
                 self.gcc += 1;
                 Ok(Some(CommitEvent {
                     gcc: self.gcc,
@@ -311,10 +339,9 @@ impl<'r> ReplayInspector<'r> {
             }
             Committer::Proc(p) => {
                 let event = self.execute_chunk(p)?;
-                if self.recording.mode != Mode::PicoLog {
-                    self.pi_cursor += 1;
-                } else {
-                    self.rr_cursor = (p + 1) % self.recording.n_procs;
+                self.source.note_commit(Committer::Proc(p));
+                if self.mode == Mode::PicoLog {
+                    self.rr_cursor = (p + 1) % self.n_procs;
                 }
                 Ok(Some(event))
             }
@@ -327,19 +354,15 @@ impl<'r> ReplayInspector<'r> {
         let pi = p as usize;
         if self.finished(pi) {
             return Err(InspectError {
-                detail: format!(
-                    "commit order names processor {p} after it retired its budget"
-                ),
+                detail: format!("commit order names processor {p} after it retired its budget"),
             });
         }
         let index = self.chunks_done[pi] + 1;
+        let budget = self.budget;
+        let target = self.source.forced_size(p, index).unwrap_or(self.chunk_size);
+        let interrupt = self.source.interrupt_at(p, index);
         let vm = &mut self.vms[pi];
         let program = &self.programs[pi];
-        let budget = self.recording.budget;
-        let target = self.recording.logs.cs[pi]
-            .forced_size(index)
-            .unwrap_or(self.recording.chunk_size);
-        let interrupt = self.recording.logs.interrupts[pi].at_chunk(index);
         if let Some((_vector, payload)) = interrupt {
             if vm.in_handler() {
                 return Err(InspectError {
@@ -349,14 +372,17 @@ impl<'r> ReplayInspector<'r> {
             vm.deliver_interrupt(program, payload);
         }
         let mut io = LogIo {
-            recording: self.recording,
-            core: pi,
+            source: &mut self.source,
+            core: p,
             chunk_index: index,
             seq: 0,
             missing: false,
         };
-        let mut mem =
-            WatchMem { mem: &mut self.memory, watches: &self.watches, hits: Vec::new() };
+        let mut mem = WatchMem {
+            mem: &mut self.memory,
+            watches: &self.watches,
+            hits: Vec::new(),
+        };
         let mut size = 0u32;
         loop {
             if size >= target {
@@ -384,7 +410,11 @@ impl<'r> ReplayInspector<'r> {
         drop(mem);
         let watch_hits = hits
             .into_iter()
-            .map(|(addr, old)| WatchHit { addr, old, new: self.memory.peek(addr) })
+            .map(|(addr, old)| WatchHit {
+                addr,
+                old,
+                new: self.memory.peek(addr),
+            })
             .filter(|h| h.old != h.new)
             .collect();
         self.chunks_done[pi] = index;
@@ -400,17 +430,22 @@ impl<'r> ReplayInspector<'r> {
     }
 
     /// Replays to the end of the recording and compares the final state
-    /// against the recording's digest.
+    /// against the stream's trailer digest.
     ///
     /// # Errors
     ///
-    /// Propagates any log inconsistency found while stepping.
+    /// Propagates any log inconsistency found while stepping, and any
+    /// stream corruption reported by the source.
     pub fn run_to_end(&mut self) -> Result<InspectReport, InspectError> {
         let mut commits = self.gcc;
         while let Some(ev) = self.step()? {
             commits = ev.gcc;
         }
-        let digest = &self.recording.stats.digest;
+        let trailer = self
+            .source
+            .finish()
+            .map_err(|detail| InspectError { detail })?;
+        let digest = &trailer.stats.digest;
         let mut mismatch = None;
         if self.memory.content_hash() != digest.mem_hash {
             mismatch = Some("final memory differs".to_string());
@@ -427,7 +462,11 @@ impl<'r> ReplayInspector<'r> {
         if self.chunks_done != digest.committed_chunks {
             mismatch.get_or_insert_with(|| "chunk counts differ".to_string());
         }
-        Ok(InspectReport { commits, matches_recording: mismatch.is_none(), mismatch })
+        Ok(InspectReport {
+            commits,
+            matches_recording: mismatch.is_none(),
+            mismatch,
+        })
     }
 }
 
@@ -445,9 +484,11 @@ mod tests {
 
     #[test]
     fn software_replay_matches_engine_digest_all_modes() {
-        for (mode, app) in
-            [(Mode::OrderOnly, "barnes"), (Mode::OrderSize, "radix"), (Mode::PicoLog, "fft")]
-        {
+        for (mode, app) in [
+            (Mode::OrderOnly, "barnes"),
+            (Mode::OrderSize, "radix"),
+            (Mode::PicoLog, "fft"),
+        ] {
             let (_, rec) = recording(mode, app);
             let report = ReplayInspector::new(&rec).run_to_end().unwrap();
             assert!(
@@ -491,6 +532,18 @@ mod tests {
             }
         }
         assert_eq!(count, rec.logs.pi.len() as u64);
+    }
+
+    #[test]
+    fn streamed_inspection_matches_in_memory() {
+        let (_, rec) = recording(Mode::OrderOnly, "lu");
+        let bytes = crate::serialize::to_bytes(&rec);
+        let source = crate::FileSource::open(&bytes[..]).unwrap();
+        let report = ReplayInspector::from_source(source)
+            .unwrap()
+            .run_to_end()
+            .unwrap();
+        assert!(report.matches_recording, "{:?}", report.mismatch);
     }
 
     #[test]

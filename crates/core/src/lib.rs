@@ -56,12 +56,15 @@ mod recorder;
 mod replayer;
 pub mod serialize;
 pub mod stratify;
+pub mod stream;
+mod wire;
 
 pub use error::ReplayError;
 pub use machine::{Machine, MachineBuilder, Recording, ReplayReport};
 pub use mode::Mode;
 pub use recorder::Recorder;
 pub use replayer::Replayer;
+pub use stream::{FileSink, FileSource, LogSink, LogSource, MemorySink, MemorySource};
 
 // Re-export the substrate types users need at the API boundary.
 pub use delorean_chunk::{RunStats, StateDigest};

@@ -47,30 +47,48 @@ pub enum CsLog {
 impl CsLog {
     /// An Order&Size-shaped log.
     pub fn full(max_size: u32) -> Self {
-        CsLog::Full { max_size, first_index: None, sizes: Vec::new() }
+        CsLog::Full {
+            max_size,
+            first_index: None,
+            sizes: Vec::new(),
+        }
     }
 
     /// An Order&Size-shaped log whose first chunk has the given index
     /// (deserialization of interval recordings).
     pub fn full_from(max_size: u32, first_index: u64) -> Self {
-        CsLog::Full { max_size, first_index: Some(first_index), sizes: Vec::new() }
+        CsLog::Full {
+            max_size,
+            first_index: Some(first_index),
+            sizes: Vec::new(),
+        }
     }
 
     /// An OrderOnly-shaped log (21-bit distance, 11-bit size).
     pub fn order_only() -> Self {
-        CsLog::Sparse { distance_bits: 21, size_bits: 11, entries: Vec::new() }
+        CsLog::Sparse {
+            distance_bits: 21,
+            size_bits: 11,
+            entries: Vec::new(),
+        }
     }
 
     /// A PicoLog-shaped log (22-bit distance, 10-bit size).
     pub fn picolog() -> Self {
-        CsLog::Sparse { distance_bits: 22, size_bits: 10, entries: Vec::new() }
+        CsLog::Sparse {
+            distance_bits: 22,
+            size_bits: 10,
+            entries: Vec::new(),
+        }
     }
 
     /// Records a committed chunk. For `Full` logs every chunk must be
     /// passed; for `Sparse` logs only the truncated ones.
     pub fn push(&mut self, entry: CsEntry) {
         match self {
-            CsLog::Full { first_index, sizes, .. } => {
+            CsLog::Full {
+                first_index, sizes, ..
+            } => {
                 let first = *first_index.get_or_insert(entry.chunk_index);
                 debug_assert_eq!(
                     first + sizes.len() as u64,
@@ -100,14 +118,17 @@ impl CsLog {
     /// constrains it.
     pub fn forced_size(&self, index: u64) -> Option<u32> {
         match self {
-            CsLog::Full { first_index, sizes, .. } => {
+            CsLog::Full {
+                first_index, sizes, ..
+            } => {
                 let first = (*first_index)?;
                 let off = index.checked_sub(first)?;
                 sizes.get(off as usize).copied()
             }
-            CsLog::Sparse { entries, .. } => {
-                entries.iter().find(|e| e.chunk_index == index).map(|e| e.size)
-            }
+            CsLog::Sparse { entries, .. } => entries
+                .iter()
+                .find(|e| e.chunk_index == index)
+                .map(|e| e.size),
         }
     }
 
@@ -123,7 +144,9 @@ impl CsLog {
     pub fn measure(&self) -> LogSize {
         let mut w = BitWriter::new();
         match self {
-            CsLog::Full { max_size, sizes, .. } => {
+            CsLog::Full {
+                max_size, sizes, ..
+            } => {
                 let size_bits = 32 - max_size.leading_zeros().max(1);
                 for &s in sizes {
                     if s == *max_size {
@@ -134,7 +157,11 @@ impl CsLog {
                     }
                 }
             }
-            CsLog::Sparse { distance_bits, size_bits, entries } => {
+            CsLog::Sparse {
+                distance_bits,
+                size_bits,
+                entries,
+            } => {
                 let mut last = 0u64;
                 for e in entries {
                     let distance = (e.chunk_index - last).min((1 << distance_bits) - 1);
@@ -156,8 +183,14 @@ mod tests {
     #[test]
     fn full_log_replays_every_size() {
         let mut log = CsLog::full(2000);
-        log.push(CsEntry { chunk_index: 1, size: 2000 });
-        log.push(CsEntry { chunk_index: 2, size: 137 });
+        log.push(CsEntry {
+            chunk_index: 1,
+            size: 2000,
+        });
+        log.push(CsEntry {
+            chunk_index: 2,
+            size: 137,
+        });
         assert_eq!(log.forced_size(1), Some(2000));
         assert_eq!(log.forced_size(2), Some(137));
         assert_eq!(log.forced_size(3), None);
@@ -169,26 +202,41 @@ mod tests {
         // in 11 bits).
         let mut log = CsLog::full(2000);
         for i in 0..10 {
-            log.push(CsEntry { chunk_index: i + 1, size: 2000 });
+            log.push(CsEntry {
+                chunk_index: i + 1,
+                size: 2000,
+            });
         }
         assert_eq!(log.measure().raw_bits, 10);
         let mut log = CsLog::full(2000);
-        log.push(CsEntry { chunk_index: 1, size: 5 });
+        log.push(CsEntry {
+            chunk_index: 1,
+            size: 5,
+        });
         assert_eq!(log.measure().raw_bits, 12);
     }
 
     #[test]
     fn sparse_log_uses_32bit_entries() {
         let mut log = CsLog::order_only();
-        log.push(CsEntry { chunk_index: 12, size: 700 });
-        log.push(CsEntry { chunk_index: 90, size: 1999 });
+        log.push(CsEntry {
+            chunk_index: 12,
+            size: 700,
+        });
+        log.push(CsEntry {
+            chunk_index: 90,
+            size: 1999,
+        });
         assert_eq!(log.measure().raw_bits, 64);
         assert_eq!(log.forced_size(12), Some(700));
         assert_eq!(log.forced_size(13), None);
         assert_eq!(log.sparse_entries().len(), 2);
 
         let mut pl = CsLog::picolog();
-        pl.push(CsEntry { chunk_index: 3, size: 512 });
+        pl.push(CsEntry {
+            chunk_index: 3,
+            size: 512,
+        });
         assert_eq!(pl.measure().raw_bits, 32);
     }
 

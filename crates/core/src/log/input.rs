@@ -35,7 +35,10 @@ impl InterruptLog {
     /// Appends a delivery (chunk indices must be non-decreasing).
     pub fn push(&mut self, e: InterruptEntry) {
         if let Some(last) = self.entries.last() {
-            assert!(last.chunk_index <= e.chunk_index, "interrupt log out of order");
+            assert!(
+                last.chunk_index <= e.chunk_index,
+                "interrupt log out of order"
+            );
         }
         self.entries.push(e);
     }
@@ -215,8 +218,16 @@ mod tests {
     #[test]
     fn interrupt_lookup_by_chunk() {
         let mut log = InterruptLog::new();
-        log.push(InterruptEntry { chunk_index: 4, vector: 1, payload: 0xab });
-        log.push(InterruptEntry { chunk_index: 9, vector: 2, payload: 0xcd });
+        log.push(InterruptEntry {
+            chunk_index: 4,
+            vector: 1,
+            payload: 0xab,
+        });
+        log.push(InterruptEntry {
+            chunk_index: 9,
+            vector: 2,
+            payload: 0xcd,
+        });
         assert_eq!(log.at_chunk(4), Some((1, 0xab)));
         assert_eq!(log.at_chunk(5), None);
         assert_eq!(log.len(), 2);
@@ -227,14 +238,25 @@ mod tests {
     #[should_panic(expected = "out of order")]
     fn interrupt_log_enforces_order() {
         let mut log = InterruptLog::new();
-        log.push(InterruptEntry { chunk_index: 9, vector: 0, payload: 0 });
-        log.push(InterruptEntry { chunk_index: 4, vector: 0, payload: 0 });
+        log.push(InterruptEntry {
+            chunk_index: 9,
+            vector: 0,
+            payload: 0,
+        });
+        log.push(InterruptEntry {
+            chunk_index: 4,
+            vector: 0,
+            payload: 0,
+        });
     }
 
     #[test]
     fn io_values_are_sequence_addressable() {
         let mut log = IoLog::new();
-        log.push(IoEntry { chunk_index: 7, values: vec![(0, 100), (1, 200)] });
+        log.push(IoEntry {
+            chunk_index: 7,
+            values: vec![(0, 100), (1, 200)],
+        });
         assert_eq!(log.value(7, 0), Some(100));
         assert_eq!(log.value(7, 1), Some(200));
         assert_eq!(log.value(7, 2), None);

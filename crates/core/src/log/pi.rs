@@ -34,7 +34,10 @@ impl PiLog {
     /// Panics if `n_procs` is zero.
     pub fn new(n_procs: u32) -> Self {
         assert!(n_procs > 0, "need at least one processor");
-        Self { n_procs, entries: Vec::new() }
+        Self {
+            n_procs,
+            entries: Vec::new(),
+        }
     }
 
     /// Appends a commit.
@@ -118,8 +121,11 @@ impl PiLog {
     /// patterns such as near-round-robin phases are visible as byte
     /// repeats.
     pub fn measure(&self) -> LogSize {
-        let symbols: Vec<u8> =
-            self.entries.iter().map(|&e| self.encode_symbol(e) as u8).collect();
+        let symbols: Vec<u8> = self
+            .entries
+            .iter()
+            .map(|&e| self.encode_symbol(e) as u8)
+            .collect();
         let raw = self.entries.len() as u64 * u64::from(self.entry_bits());
         LogSize {
             raw_bits: raw,
@@ -146,7 +152,11 @@ mod tests {
     fn encode_decode_round_trip() {
         let mut pi = PiLog::new(8);
         for i in 0..100u32 {
-            pi.push(if i % 9 == 8 { Committer::Dma } else { Committer::Proc(i % 8) });
+            pi.push(if i % 9 == 8 {
+                Committer::Dma
+            } else {
+                Committer::Proc(i % 8)
+            });
         }
         let bytes = pi.encode();
         let back = PiLog::decode(&bytes, 8, pi.len()).unwrap();

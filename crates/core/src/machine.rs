@@ -4,9 +4,10 @@ use crate::checkpoint::{IntervalCheckpoint, SystemCheckpoint};
 use crate::error::ReplayError;
 use crate::log::MemoryOrderingSizes;
 use crate::mode::Mode;
-use crate::recorder::{LogSet, Recorder};
+use crate::recorder::LogSet;
 use crate::replayer::Replayer;
 use crate::stratify::{StratifiedPiLog, Stratifier};
+use crate::stream::{LogSink, LogSource, MemorySink, MemorySource, StreamMeta, StreamRecorder};
 use delorean_chunk::{
     run, run_from, Committer, DeviceConfig, EngineConfig, RunStats, StartState, StateDigest,
 };
@@ -63,7 +64,10 @@ impl Recording {
             .iter()
             .map(|l| l.measure())
             .fold(delorean_compress::LogSize::default(), |a, b| a.combined(b));
-        MemoryOrderingSizes { pi: self.logs.pi.measure(), cs }
+        MemoryOrderingSizes {
+            pi: self.logs.pi.measure(),
+            cs,
+        }
     }
 
     /// Compressed memory-ordering log size in the paper's unit, bits
@@ -112,7 +116,7 @@ impl Recording {
     }
 
     fn run_spec(&self) -> RunSpec {
-        RunSpec::new(self.workload.clone(), self.n_procs, self.app_seed, self.budget)
+        RunSpec::new(self.workload, self.n_procs, self.app_seed, self.budget)
     }
 
     /// Replays the recording in software up to Global Commit Count
@@ -136,11 +140,15 @@ impl Recording {
                         ),
                     })
                 }
-                Err(e) => return Err(ReplayError::Diverged { detail: e.to_string() }),
+                Err(e) => {
+                    return Err(ReplayError::Diverged {
+                        detail: e.to_string(),
+                    })
+                }
             }
         }
         Ok(IntervalCheckpoint {
-            workload: self.workload.clone(),
+            workload: self.workload,
             app_seed: self.app_seed,
             n_procs: self.n_procs,
             gcc,
@@ -241,23 +249,42 @@ impl Machine {
 
     /// Records one execution of `workload` seeded by `app_seed`.
     pub fn record(&self, workload: &WorkloadSpec, app_seed: u64) -> Recording {
+        let mut sink = MemorySink::new();
+        self.record_to(workload, app_seed, &mut sink);
+        sink.into_recording()
+            .expect("an in-memory recording always completes")
+    }
+
+    /// Records one execution of `workload`, streaming every commit into
+    /// `sink` as it is granted. With a [`FileSink`](crate::FileSink)
+    /// the log hits the disk incrementally and peak buffering stays
+    /// bounded by the sink's flush granularity instead of the run
+    /// length; with a [`MemorySink`] this is equivalent to [`record`].
+    ///
+    /// [`record`]: Machine::record
+    pub fn record_to<S: LogSink>(
+        &self,
+        workload: &WorkloadSpec,
+        app_seed: u64,
+        sink: &mut S,
+    ) -> RunStats {
         let cfg = self.recording_config(workload);
-        let spec = RunSpec::new(workload.clone(), self.n_procs, app_seed, self.budget);
-        let mut recorder = Recorder::new(self.mode, self.n_procs, self.chunk_size);
-        let stats = run(&spec, &cfg, &mut recorder);
-        Recording {
+        let checkpoint = SystemCheckpoint::initial(workload, self.n_procs, app_seed);
+        sink.begin(&StreamMeta {
             mode: self.mode,
             n_procs: self.n_procs,
             chunk_size: self.chunk_size,
             budget: self.budget,
-            workload: workload.clone(),
+            workload: *workload,
             app_seed,
             devices: cfg.devices,
-            checkpoint: SystemCheckpoint::initial(workload, self.n_procs, app_seed),
+            initial_mem_hash: checkpoint.initial_mem_hash,
             interval: None,
-            logs: recorder.into_logs(),
-            stats,
-        }
+        });
+        let spec = RunSpec::new(*workload, self.n_procs, app_seed, self.budget);
+        let mut recorder = StreamRecorder::new(self.mode, self.n_procs, sink);
+        // The engine delivers the trailer through `on_run_end`.
+        run(&spec, &cfg, &mut recorder)
     }
 
     /// Records a new interval starting from a mid-execution checkpoint:
@@ -278,6 +305,32 @@ impl Machine {
         ck: &IntervalCheckpoint,
         extra_budget: u64,
     ) -> Result<Recording, ReplayError> {
+        let mut sink = MemorySink::new();
+        self.record_interval_to(ck, extra_budget, &mut sink)?;
+        Ok(sink
+            .into_recording()
+            .expect("an in-memory recording always completes"))
+    }
+
+    /// Streaming counterpart of [`record_interval`]: the interval's
+    /// commits flow into `sink` as they are granted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::MachineMismatch`] when the checkpoint's
+    /// processor count differs from this machine's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra_budget` is zero.
+    ///
+    /// [`record_interval`]: Machine::record_interval
+    pub fn record_interval_to<S: LogSink>(
+        &self,
+        ck: &IntervalCheckpoint,
+        extra_budget: u64,
+        sink: &mut S,
+    ) -> Result<RunStats, ReplayError> {
         assert!(extra_budget > 0, "extra budget must be positive");
         if ck.n_procs != self.n_procs {
             return Err(ReplayError::MachineMismatch {
@@ -287,22 +340,21 @@ impl Machine {
         }
         let budget = ck.max_retired() + extra_budget;
         let cfg = self.recording_config(&ck.workload);
-        let spec = RunSpec::new(ck.workload.clone(), self.n_procs, ck.app_seed, budget);
-        let mut recorder = Recorder::new(self.mode, self.n_procs, self.chunk_size);
-        let stats = run_from(&spec, &cfg, &mut recorder, &ck.state);
-        Ok(Recording {
+        let checkpoint = SystemCheckpoint::initial(&ck.workload, self.n_procs, ck.app_seed);
+        sink.begin(&StreamMeta {
             mode: self.mode,
             n_procs: self.n_procs,
             chunk_size: self.chunk_size,
             budget,
-            workload: ck.workload.clone(),
+            workload: ck.workload,
             app_seed: ck.app_seed,
             devices: cfg.devices,
-            checkpoint: SystemCheckpoint::initial(&ck.workload, self.n_procs, ck.app_seed),
+            initial_mem_hash: checkpoint.initial_mem_hash,
             interval: Some(ck.state.clone()),
-            logs: recorder.into_logs(),
-            stats,
-        })
+        });
+        let spec = RunSpec::new(ck.workload, self.n_procs, ck.app_seed, budget);
+        let mut recorder = StreamRecorder::new(self.mode, self.n_procs, sink);
+        Ok(run_from(&spec, &cfg, &mut recorder, &ck.state))
     }
 
     fn check_shape(&self, recording: &Recording) -> Result<(), ReplayError> {
@@ -321,9 +373,16 @@ impl Machine {
         Ok(())
     }
 
-    fn replay_config(&self, recording: &Recording, timing_seed: u64) -> EngineConfig {
-        let mut base = self.recording_config(&recording.workload);
-        base.chunk_size = recording.chunk_size;
+    fn replay_config_for(
+        &self,
+        workload: &WorkloadSpec,
+        chunk_size: u32,
+        devices: DeviceConfig,
+        timing_seed: u64,
+    ) -> EngineConfig {
+        let mut base = self.recording_config(workload);
+        base.chunk_size = chunk_size;
+        base.devices = devices;
         base.collect_token_stats = self.mode == Mode::PicoLog;
         let mut cfg = EngineConfig::replay_of(&base, timing_seed);
         // The paper's replay methodology raises the arbitration latency
@@ -331,6 +390,15 @@ impl Machine {
         // through the same penalized path.
         cfg.grant_gap = cfg.grant_gap * 5 / 3;
         cfg
+    }
+
+    fn replay_config(&self, recording: &Recording, timing_seed: u64) -> EngineConfig {
+        self.replay_config_for(
+            &recording.workload,
+            recording.chunk_size,
+            recording.devices,
+            timing_seed,
+        )
     }
 
     /// Replays `recording` with a perturbed timing seed derived from
@@ -356,14 +424,97 @@ impl Machine {
         recording: &Recording,
         timing_seed: u64,
     ) -> Result<ReplayReport, ReplayError> {
-        self.check_shape(recording)?;
-        let cfg = self.replay_config(recording, timing_seed);
-        let mut replayer = Replayer::new(self.mode, self.n_procs, &recording.logs);
-        let stats = match &recording.interval {
-            Some(start) => run_from(&recording.run_spec(), &cfg, &mut replayer, start),
-            None => run(&recording.run_spec(), &cfg, &mut replayer),
+        self.replay_from_with_seed(MemorySource::of_recording(recording), timing_seed)
+    }
+
+    /// Replays directly from a log source — e.g. a streaming
+    /// [`FileSource`](crate::FileSource) decoding a `.dlrn` file on
+    /// demand, so the whole log never needs to be resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError`] when the source carries no metadata, the
+    /// machine shape or mode does not match, or the stream turns out to
+    /// be corrupt or truncated mid-replay.
+    pub fn replay_from<S: LogSource>(&self, source: S) -> Result<ReplayReport, ReplayError> {
+        self.replay_from_with_seed(source, self.timing_seed ^ 0x5a5a_5a5a)
+    }
+
+    /// [`replay_from`](Machine::replay_from) with an explicit
+    /// replay-side timing seed.
+    ///
+    /// # Errors
+    ///
+    /// As [`replay_from`](Machine::replay_from).
+    pub fn replay_from_with_seed<S: LogSource>(
+        &self,
+        source: S,
+        timing_seed: u64,
+    ) -> Result<ReplayReport, ReplayError> {
+        let Some(meta) = source.meta() else {
+            return Err(ReplayError::Source {
+                detail: "log source carries no recording metadata".to_string(),
+            });
         };
-        Ok(report(recording, stats, replayer.into_divergence()))
+        if meta.n_procs != self.n_procs {
+            return Err(ReplayError::MachineMismatch {
+                recorded: meta.n_procs,
+                replaying: self.n_procs,
+            });
+        }
+        if meta.mode != self.mode {
+            return Err(ReplayError::ModeMismatch {
+                recorded: meta.mode,
+                replaying: self.mode,
+            });
+        }
+        let cfg =
+            self.replay_config_for(&meta.workload, meta.chunk_size, meta.devices, timing_seed);
+        let spec = RunSpec::new(meta.workload, self.n_procs, meta.app_seed, meta.budget);
+        let interval = meta.interval.clone();
+        let mut replayer = Replayer::from_source(source);
+        // A corrupt or truncated stream can starve the engine of
+        // grants, which it reports by panicking ("engine deadlock");
+        // surface that as a stream error rather than crashing. The
+        // default panic hook would still print a backtrace before
+        // `catch_unwind` recovers, so silence it around the guarded run.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &interval {
+            Some(start) => run_from(&spec, &cfg, &mut replayer, start),
+            None => run(&spec, &cfg, &mut replayer),
+        }));
+        std::panic::set_hook(prev_hook);
+        let (mut source, mut divergence) = replayer.into_parts();
+        let stats = match outcome {
+            Ok(stats) => stats,
+            Err(_) => {
+                let detail = source
+                    .error()
+                    .map(str::to_string)
+                    .or(divergence)
+                    .unwrap_or_else(|| {
+                        "engine deadlocked on an inconsistent log stream".to_string()
+                    });
+                return Err(ReplayError::Source { detail });
+            }
+        };
+        if let Some(e) = source.error() {
+            return Err(ReplayError::Source {
+                detail: e.to_string(),
+            });
+        }
+        let trailer = source
+            .finish()
+            .map_err(|detail| ReplayError::Source { detail })?;
+        if divergence.is_none() && stats.digest != trailer.stats.digest {
+            divergence = Some(first_digest_mismatch(&trailer.stats.digest, &stats.digest));
+        }
+        Ok(ReplayReport {
+            deterministic: divergence.is_none(),
+            divergence,
+            stats,
+        })
     }
 
     /// Replays driven by a *stratified* PI log instead of the plain
@@ -382,8 +533,7 @@ impl Machine {
         self.check_shape(recording)?;
         let strat = recording.stratified_pi(max_per_stratum);
         let cfg = self.replay_config(recording, timing_seed);
-        let mut replayer =
-            Replayer::stratified(self.mode, self.n_procs, &recording.logs, &strat);
+        let mut replayer = Replayer::stratified(self.mode, self.n_procs, &recording.logs, &strat);
         let stats = match &recording.interval {
             Some(start) => run_from(&recording.run_spec(), &cfg, &mut replayer, start),
             None => run(&recording.run_spec(), &cfg, &mut replayer),
@@ -395,9 +545,16 @@ impl Machine {
 fn report(recording: &Recording, stats: RunStats, divergence: Option<String>) -> ReplayReport {
     let mut divergence = divergence;
     if divergence.is_none() && stats.digest != recording.stats.digest {
-        divergence = Some(first_digest_mismatch(&recording.stats.digest, &stats.digest));
+        divergence = Some(first_digest_mismatch(
+            &recording.stats.digest,
+            &stats.digest,
+        ));
     }
-    ReplayReport { deterministic: divergence.is_none(), divergence, stats }
+    ReplayReport {
+        deterministic: divergence.is_none(),
+        divergence,
+        stats,
+    }
 }
 
 fn first_digest_mismatch(rec: &StateDigest, rep: &StateDigest) -> String {
@@ -405,7 +562,10 @@ fn first_digest_mismatch(rec: &StateDigest, rep: &StateDigest) -> String {
         return "final memory contents differ".to_string();
     }
     if rec.retired != rep.retired {
-        return format!("retired counts differ: {:?} vs {:?}", rec.retired, rep.retired);
+        return format!(
+            "retired counts differ: {:?} vs {:?}",
+            rec.retired, rep.retired
+        );
     }
     if rec.committed_chunks != rep.committed_chunks {
         return format!(
@@ -518,7 +678,9 @@ impl MachineBuilder {
         Machine {
             mode: self.mode,
             n_procs: self.n_procs,
-            chunk_size: self.chunk_size.unwrap_or_else(|| self.mode.default_chunk_size()),
+            chunk_size: self
+                .chunk_size
+                .unwrap_or_else(|| self.mode.default_chunk_size()),
             budget: self.budget,
             devices: self.devices,
             timing_seed: self.timing_seed,
@@ -550,11 +712,17 @@ mod tests {
         let other = Machine::builder().procs(4).budget(2_000).build();
         assert!(matches!(
             other.replay(&recording),
-            Err(ReplayError::MachineMismatch { recorded: 2, replaying: 4 })
+            Err(ReplayError::MachineMismatch {
+                recorded: 2,
+                replaying: 4
+            })
         ));
         let mut b = Machine::builder();
         let other = b.procs(2).mode(Mode::PicoLog).budget(2_000).build();
-        assert!(matches!(other.replay(&recording), Err(ReplayError::ModeMismatch { .. })));
+        assert!(matches!(
+            other.replay(&recording),
+            Err(ReplayError::ModeMismatch { .. })
+        ));
     }
 
     #[test]

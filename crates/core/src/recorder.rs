@@ -1,9 +1,10 @@
 //! The DeLorean recorder: `ExecutionHooks` that capture an execution's
 //! logs at chunk-commit granularity.
 
-use crate::log::{CsEntry, CsLog, DmaLog, InterruptEntry, InterruptLog, IoEntry, IoLog, PiLog};
+use crate::log::{CsLog, DmaLog, InterruptLog, IoLog, PiLog};
 use crate::mode::Mode;
-use delorean_chunk::{policy, ArbiterContext, CommitRecord, Committer, ExecutionHooks};
+use crate::stream::{CommitBridge, LogSink, MemorySink};
+use delorean_chunk::{ArbiterContext, CommitRecord, Committer, ExecutionHooks};
 
 /// Every log produced by one recording.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,13 +27,18 @@ pub struct LogSet {
     pub dma: DmaLog,
 }
 
-/// Recording-side hooks for one DeLorean execution mode.
+/// Recording-side hooks for one DeLorean execution mode, accumulating
+/// the logs in memory.
 ///
 /// * Order&Size / OrderOnly grant commits in arrival order and log
 ///   processor IDs in the PI log; Order&Size additionally logs every
 ///   chunk size, OrderOnly only non-deterministic truncations.
 /// * PicoLog grants round-robin and logs no PI entries at all; DMA
 ///   commits record their global commit slot.
+///
+/// Internally this is the streaming pipeline with a
+/// [`MemorySink`](crate::MemorySink) attached: the mode policy lives in
+/// one place whether commits are buffered or streamed to disk.
 ///
 /// # Examples
 ///
@@ -44,105 +50,39 @@ pub struct LogSet {
 /// ```
 #[derive(Debug)]
 pub struct Recorder {
-    mode: Mode,
-    n_procs: u32,
-    logs: LogSet,
-    rr_cursor: u32,
+    bridge: CommitBridge,
+    sink: MemorySink,
 }
 
 impl Recorder {
     /// Creates a recorder for an `n_procs` machine in `mode` with the
     /// given standard (or maximum) chunk size.
     pub fn new(mode: Mode, n_procs: u32, chunk_size: u32) -> Self {
-        let cs = (0..n_procs)
-            .map(|_| match mode {
-                Mode::OrderSize => CsLog::full(chunk_size),
-                Mode::OrderOnly => CsLog::order_only(),
-                Mode::PicoLog => CsLog::picolog(),
-            })
-            .collect();
         Self {
-            mode,
-            n_procs,
-            logs: LogSet {
-                pi: PiLog::new(n_procs),
-                pi_footprints: Vec::new(),
-                pi_write_footprints: Vec::new(),
-                cs,
-                interrupts: (0..n_procs).map(|_| InterruptLog::new()).collect(),
-                io: (0..n_procs).map(|_| IoLog::new()).collect(),
-                dma: DmaLog::new(),
-            },
-            rr_cursor: 0,
+            bridge: CommitBridge::new(mode, n_procs),
+            sink: MemorySink::with_shape(mode, n_procs, chunk_size),
         }
     }
 
     /// The mode being recorded.
     pub fn mode(&self) -> Mode {
-        self.mode
+        self.bridge.mode()
     }
 
     /// Finishes recording and hands over the logs.
     pub fn into_logs(self) -> LogSet {
-        self.logs
+        self.sink.into_logs()
     }
 }
 
 impl ExecutionHooks for Recorder {
     fn next_grant(&mut self, ctx: &ArbiterContext<'_>) -> Option<Committer> {
-        match self.mode {
-            Mode::OrderSize | Mode::OrderOnly => policy::arrival(ctx),
-            Mode::PicoLog => policy::round_robin(ctx, self.rr_cursor),
-        }
+        self.bridge.next_grant(ctx)
     }
 
     fn on_commit(&mut self, rec: &CommitRecord) {
-        match rec.committer {
-            Committer::Proc(p) => {
-                let pi = self.mode.has_pi_log();
-                if pi {
-                    self.logs.pi.push(Committer::Proc(p));
-                    self.logs.pi_footprints.push(rec.access_lines.clone());
-                    self.logs.pi_write_footprints.push(rec.write_lines.clone());
-                }
-                let log_size = match self.mode {
-                    Mode::OrderSize => true,
-                    Mode::OrderOnly | Mode::PicoLog => !rec.truncation.is_deterministic(),
-                };
-                if log_size {
-                    self.logs.cs[p as usize]
-                        .push(CsEntry { chunk_index: rec.chunk_index, size: rec.size });
-                }
-                if let Some((vector, payload)) = rec.interrupt {
-                    self.logs.interrupts[p as usize].push(InterruptEntry {
-                        chunk_index: rec.chunk_index,
-                        vector,
-                        payload,
-                    });
-                }
-                if !rec.io_values.is_empty() {
-                    self.logs.io[p as usize].push(IoEntry {
-                        chunk_index: rec.chunk_index,
-                        values: rec.io_values.clone(),
-                    });
-                }
-                if self.mode == Mode::PicoLog {
-                    self.rr_cursor = (p + 1) % self.n_procs;
-                }
-            }
-            Committer::Dma => {
-                self.logs.dma.push_transfer(rec.dma_data.clone());
-                if self.mode.has_pi_log() {
-                    self.logs.pi.push(Committer::Dma);
-                    self.logs.pi_footprints.push(rec.access_lines.clone());
-                    self.logs.pi_write_footprints.push(rec.write_lines.clone());
-                } else {
-                    // The arbiter records the DMA's commit slot: the
-                    // number of commits granted before it.
-                    self.logs.dma.push_slot(rec.global_slot - 1);
-                }
-            }
-        }
+        let event = self.bridge.convert(rec);
+        self.sink.on_event(&event);
     }
 }
 

@@ -1,10 +1,10 @@
 //! The DeLorean replayer: `ExecutionHooks` that drive the engine from a
-//! recording's logs.
+//! recorded log stream.
 
-use crate::log::PiLog;
 use crate::mode::Mode;
 use crate::recorder::LogSet;
 use crate::stratify::StratifiedPiLog;
+use crate::stream::{LogSource, MemorySource};
 use delorean_chunk::{policy, ArbiterContext, CommitRecord, Committer, ExecutionHooks};
 use delorean_isa::{Addr, Word};
 
@@ -19,7 +19,11 @@ impl StratCursor {
     fn new(log: &StratifiedPiLog) -> Self {
         let strata: Vec<Vec<u32>> = log.strata().to_vec();
         let remaining = strata.first().cloned().unwrap_or_default();
-        Self { strata, idx: 0, remaining }
+        Self {
+            strata,
+            idx: 0,
+            remaining,
+        }
     }
 
     /// Advances past exhausted strata; returns `false` when the log is
@@ -39,6 +43,11 @@ impl StratCursor {
 /// Replay-side hooks: enforce the recorded commit order and feed the
 /// input logs back into the execution.
 ///
+/// The replayer is generic over its [`LogSource`]: [`MemorySource`]
+/// replays a borrowed in-memory [`LogSet`],
+/// [`FileSource`](crate::FileSource) decodes a `.dlrn` stream on
+/// demand, so replay never needs the whole log resident.
+///
 /// For Order&Size and OrderOnly the arbiter follows the PI log
 /// entry-by-entry; with [`Replayer::stratified`] it instead enforces
 /// only the stratum constraints (chunks of different processors within
@@ -46,32 +55,21 @@ impl StratCursor {
 /// PicoLog it regenerates the round-robin order and injects DMA at the
 /// recorded commit slots.
 #[derive(Debug)]
-pub struct Replayer<'r> {
+pub struct Replayer<S: LogSource> {
     mode: Mode,
     n_procs: u32,
-    logs: &'r LogSet,
-    pi_cursor: usize,
+    source: S,
+    pi_pos: u64,
     rr_cursor: u32,
-    dma_cursor: usize,
-    dma_slot_cursor: usize,
     strata: Option<StratCursor>,
     divergence: Option<String>,
 }
 
-impl<'r> Replayer<'r> {
-    /// A replayer following the recording's exact commit order.
+impl<'r> Replayer<MemorySource<'r>> {
+    /// A replayer following the recording's exact commit order, over
+    /// in-memory logs.
     pub fn new(mode: Mode, n_procs: u32, logs: &'r LogSet) -> Self {
-        Self {
-            mode,
-            n_procs,
-            logs,
-            pi_cursor: 0,
-            rr_cursor: 0,
-            dma_cursor: 0,
-            dma_slot_cursor: 0,
-            strata: None,
-            divergence: None,
-        }
+        Self::from_source(MemorySource::from_logs(mode, n_procs, logs))
     }
 
     /// A replayer driven by a *stratified* PI log (Section 4.3).
@@ -85,6 +83,22 @@ impl<'r> Replayer<'r> {
         r.strata = Some(StratCursor::new(log));
         r
     }
+}
+
+impl<S: LogSource> Replayer<S> {
+    /// A replayer over any log source (e.g. a streaming
+    /// [`FileSource`](crate::FileSource)).
+    pub fn from_source(source: S) -> Self {
+        Self {
+            mode: source.mode(),
+            n_procs: source.n_procs(),
+            source,
+            pi_pos: 0,
+            rr_cursor: 0,
+            strata: None,
+            divergence: None,
+        }
+    }
 
     /// First divergence detected between the logs and the execution,
     /// if any.
@@ -97,25 +111,24 @@ impl<'r> Replayer<'r> {
         self.divergence
     }
 
+    /// Consumes the replayer, returning the source and the divergence.
+    pub fn into_parts(self) -> (S, Option<String>) {
+        (self.source, self.divergence)
+    }
+
     fn diverge(&mut self, msg: String) {
         if self.divergence.is_none() {
             self.divergence = Some(msg);
         }
     }
-
-    fn pi(&self) -> &PiLog {
-        &self.logs.pi
-    }
 }
 
-impl ExecutionHooks for Replayer<'_> {
+impl<S: LogSource> ExecutionHooks for Replayer<S> {
     fn next_grant(&mut self, ctx: &ArbiterContext<'_>) -> Option<Committer> {
         match self.mode {
             Mode::PicoLog => {
-                if let Some(slot) = self.logs.dma.slot(self.dma_slot_cursor) {
-                    if slot == ctx.total_commits {
-                        return Some(Committer::Dma);
-                    }
+                if self.source.dma_slot_matches(ctx.total_commits) {
+                    return Some(Committer::Dma);
                 }
                 policy::round_robin(ctx, self.rr_cursor)
             }
@@ -137,7 +150,7 @@ impl ExecutionHooks for Replayer<'_> {
                         .min_by_key(|pv| pv.arrival)
                         .map(|pv| pv.committer)
                 } else {
-                    match self.pi().get(self.pi_cursor) {
+                    match self.source.pi_peek() {
                         Some(Committer::Proc(p)) => {
                             let c = Committer::Proc(p);
                             ctx.has_pending(c).then_some(c)
@@ -159,8 +172,6 @@ impl ExecutionHooks for Replayer<'_> {
             Mode::PicoLog => {
                 if let Committer::Proc(p) = rec.committer {
                     self.rr_cursor = (p + 1) % self.n_procs;
-                } else {
-                    self.dma_slot_cursor += 1;
                 }
             }
             Mode::OrderSize | Mode::OrderOnly => {
@@ -174,28 +185,26 @@ impl ExecutionHooks for Replayer<'_> {
                         sc.remaining[col] -= 1;
                     }
                 } else {
-                    let expected = self.pi().get(self.pi_cursor);
+                    let expected = self.source.pi_peek();
                     if expected != Some(rec.committer) {
                         self.diverge(format!(
                             "PI log position {} expected {:?}, got {:?}",
-                            self.pi_cursor, expected, rec.committer
+                            self.pi_pos, expected, rec.committer
                         ));
                     }
-                    self.pi_cursor += 1;
                 }
             }
         }
-        if rec.committer == Committer::Dma {
-            self.dma_cursor += 1;
-        }
+        self.pi_pos += 1;
+        self.source.note_commit(rec.committer);
     }
 
     fn forced_chunk_size(&mut self, core: u32, index: u64) -> Option<u32> {
-        self.logs.cs[core as usize].forced_size(index)
+        self.source.forced_size(core, index)
     }
 
     fn io_load(&mut self, core: u32, index: u64, seq: u32, port: u16, _dev: Word) -> Word {
-        match self.logs.io[core as usize].value(index, seq) {
+        match self.source.io_value(core, index, seq) {
             Some(v) => v,
             None => {
                 self.diverge(format!(
@@ -207,12 +216,12 @@ impl ExecutionHooks for Replayer<'_> {
     }
 
     fn pending_interrupt(&mut self, core: u32, index: u64) -> Option<(u16, Word)> {
-        self.logs.interrupts[core as usize].at_chunk(index)
+        self.source.interrupt_at(core, index)
     }
 
     fn dma_data(&mut self) -> Vec<(Addr, Word)> {
-        match self.logs.dma.transfer(self.dma_cursor) {
-            Some(d) => d.to_vec(),
+        match self.source.dma_next() {
+            Some(d) => d,
             None => {
                 self.diverge("DMA log exhausted".to_string());
                 Vec::new()
@@ -238,7 +247,11 @@ mod tests {
                 global_slot: i as u64 + 1,
                 interrupt: None,
                 io_values: Vec::new(),
-                dma_data: if c == Committer::Dma { vec![(1, 1)] } else { Vec::new() },
+                dma_data: if c == Committer::Dma {
+                    vec![(1, 1)]
+                } else {
+                    Vec::new()
+                },
                 access_lines: Vec::new(),
                 write_lines: Vec::new(),
             });
@@ -252,7 +265,10 @@ mod tests {
         let logs = logs_with_pi(&[Committer::Proc(1), Committer::Proc(0)]);
         let mut rp = Replayer::new(Mode::OrderOnly, 2, &logs);
         // Proc 0 is pending but the PI log wants proc 1 first.
-        let pending = [PendingView { committer: Committer::Proc(0), arrival: 0 }];
+        let pending = [PendingView {
+            committer: Committer::Proc(0),
+            arrival: 0,
+        }];
         let finished = [false, false];
         let ctx = ArbiterContext {
             pending: &pending,
@@ -263,8 +279,14 @@ mod tests {
         };
         assert_eq!(rp.next_grant(&ctx), None, "must wait for proc 1");
         let pending = [
-            PendingView { committer: Committer::Proc(0), arrival: 0 },
-            PendingView { committer: Committer::Proc(1), arrival: 1 },
+            PendingView {
+                committer: Committer::Proc(0),
+                arrival: 0,
+            },
+            PendingView {
+                committer: Committer::Proc(1),
+                arrival: 1,
+            },
         ];
         let ctx = ArbiterContext {
             pending: &pending,

@@ -1,0 +1,1756 @@
+//! Streaming record/replay: log sinks and log sources.
+//!
+//! The original pipeline built a whole [`Recording`] in memory and
+//! serialized it afterwards, so recording a long run buffered O(run)
+//! log state. This module turns both directions into streams:
+//!
+//! * Recording-side, the chunk engine's commit events flow through a
+//!   [`LogSink`]. [`MemorySink`] accumulates them into the classic
+//!   [`LogSet`]/[`Recording`]; [`FileSink`] frames them into the
+//!   versioned `.dlrn` format *incrementally*, compressing and flushing
+//!   a segment every N commits so peak buffering is O(segment), not
+//!   O(run).
+//! * Replay-side, the replayer and the software inspector consume a
+//!   [`LogSource`]. [`MemorySource`] walks a borrowed [`LogSet`];
+//!   [`FileSource`] decodes `.dlrn` segments on demand from any
+//!   [`std::io::Read`], so replaying never loads the whole file.
+//!
+//! The wire format (version 2) is:
+//!
+//! ```text
+//! header  := MAGIC u32 | VERSION u16 | fnv(meta_len ‖ meta) u64
+//!          | meta_len u64 | meta bytes
+//! segment := kind u8 | body_len u64 | fnv(kind ‖ body_len ‖ body) u64 | body
+//! ```
+//!
+//! Event segments carry a commit watermark plus one LZ77 block of
+//! encoded commit events (the encoder's match window spans segments);
+//! the final segment is a trailer holding the determinism digest and
+//! run statistics. Every byte after the 14-byte frame header is covered
+//! by a checksum.
+
+use crate::checkpoint::SystemCheckpoint;
+use crate::log::{CsEntry, CsLog, DmaLog, InterruptEntry, InterruptLog, IoEntry, IoLog, PiLog};
+use crate::machine::Recording;
+use crate::mode::Mode;
+use crate::recorder::LogSet;
+use crate::serialize::DecodeError;
+use crate::wire::{
+    fnv_hasher, mode_from, mode_tag, Reader, Writer, MAGIC, SEG_EVENTS, SEG_TRAILER, VERSION,
+};
+use delorean_chunk::{
+    policy, ArbiterContext, CommitRecord, Committer, DeviceConfig, ExecutionHooks, ParallelStats,
+    RunStats, StartState, StateDigest,
+};
+use delorean_isa::workload::{self, WorkloadSpec};
+use delorean_isa::{Addr, Word};
+use std::collections::VecDeque;
+use std::io::{self, Read};
+
+/// Default number of commit events buffered before [`FileSink`] flushes
+/// a compressed segment.
+pub const DEFAULT_FLUSH_EVERY: usize = 64;
+
+const TAG_DMA: u8 = 1 << 0;
+const TAG_CS: u8 = 1 << 1;
+const TAG_IRQ: u8 = 1 << 2;
+const TAG_IO: u8 = 1 << 3;
+
+// ---------------------------------------------------------------------------
+// Stream data types
+// ---------------------------------------------------------------------------
+
+/// Everything a consumer must know before the first commit event: the
+/// machine shape, the workload identity and the starting state.
+#[derive(Debug, Clone)]
+pub struct StreamMeta {
+    /// Execution mode of the stream.
+    pub mode: Mode,
+    /// Processors.
+    pub n_procs: u32,
+    /// Standard (or maximum) chunk size.
+    pub chunk_size: u32,
+    /// Per-processor retired-instruction budget.
+    pub budget: u64,
+    /// The recorded application.
+    pub workload: WorkloadSpec,
+    /// Program-generation seed.
+    pub app_seed: u64,
+    /// Device activity during the recording.
+    pub devices: DeviceConfig,
+    /// Content hash of the initial memory image.
+    pub initial_mem_hash: u64,
+    /// Mid-execution start state for interval recordings.
+    pub interval: Option<StartState>,
+}
+
+impl StreamMeta {
+    /// The metadata describing an existing recording.
+    pub fn of_recording(rec: &Recording) -> Self {
+        Self {
+            mode: rec.mode,
+            n_procs: rec.n_procs,
+            chunk_size: rec.chunk_size,
+            budget: rec.budget,
+            workload: rec.workload,
+            app_seed: rec.app_seed,
+            devices: rec.devices,
+            initial_mem_hash: rec.checkpoint.initial_mem_hash,
+            interval: rec.interval.clone(),
+        }
+    }
+
+    fn start_chunks(&self) -> Vec<u64> {
+        match &self.interval {
+            Some(s) => s.chunks_done.clone(),
+            None => vec![0; self.n_procs as usize],
+        }
+    }
+}
+
+/// The stream's closing record: the run statistics (including the
+/// determinism digest the replay is checked against).
+#[derive(Debug, Clone)]
+pub struct StreamTrailer {
+    /// Statistics of the recorded execution.
+    pub stats: RunStats,
+}
+
+/// One commit, as it appears on the log stream.
+///
+/// `chunk_index` is *derived* state (per-processor commit counters), so
+/// it is never wire-encoded; decoders regenerate it. Footprints are
+/// present only in PI-logging modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEvent {
+    /// Who committed.
+    pub committer: Committer,
+    /// Per-processor logical chunk index (1-based; 0 for DMA).
+    pub chunk_index: u64,
+    /// Chunk size, when the CS log must reproduce it at replay.
+    pub cs_size: Option<u32>,
+    /// Interrupt delivered at the chunk's start, if any.
+    pub interrupt: Option<(u16, Word)>,
+    /// Logged uncached I/O load values, in execution order.
+    pub io_values: Vec<(u16, Word)>,
+    /// DMA payload (DMA commits only).
+    pub dma_data: Vec<(Addr, Word)>,
+    /// Accessed cache lines (PI modes only), sorted.
+    pub access_lines: Vec<u64>,
+    /// Written cache lines (PI modes only), sorted.
+    pub write_lines: Vec<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// LogSink: the recording direction
+// ---------------------------------------------------------------------------
+
+/// Consumes a recording as an ordered stream: metadata, then one
+/// [`LogEvent`] per commit, then the trailer.
+pub trait LogSink {
+    /// Receives the stream metadata before any event.
+    fn begin(&mut self, meta: &StreamMeta);
+    /// Receives one commit event.
+    fn on_event(&mut self, event: &LogEvent);
+    /// Receives the trailer after the last event.
+    fn finish(&mut self, trailer: &StreamTrailer);
+}
+
+/// Mode-dependent commit policy and [`CommitRecord`] → [`LogEvent`]
+/// conversion, shared by the in-memory recorder and the streaming one.
+#[derive(Debug)]
+pub(crate) struct CommitBridge {
+    mode: Mode,
+    n_procs: u32,
+    rr_cursor: u32,
+}
+
+impl CommitBridge {
+    pub(crate) fn new(mode: Mode, n_procs: u32) -> Self {
+        Self {
+            mode,
+            n_procs,
+            rr_cursor: 0,
+        }
+    }
+
+    pub(crate) fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    pub(crate) fn next_grant(&mut self, ctx: &ArbiterContext<'_>) -> Option<Committer> {
+        match self.mode {
+            Mode::OrderSize | Mode::OrderOnly => policy::arrival(ctx),
+            Mode::PicoLog => policy::round_robin(ctx, self.rr_cursor),
+        }
+    }
+
+    pub(crate) fn convert(&mut self, rec: &CommitRecord) -> LogEvent {
+        let has_pi = self.mode.has_pi_log();
+        let cs_size = match rec.committer {
+            Committer::Proc(_) => {
+                let log_size = match self.mode {
+                    Mode::OrderSize => true,
+                    Mode::OrderOnly | Mode::PicoLog => !rec.truncation.is_deterministic(),
+                };
+                log_size.then_some(rec.size)
+            }
+            Committer::Dma => None,
+        };
+        if self.mode == Mode::PicoLog {
+            if let Committer::Proc(p) = rec.committer {
+                self.rr_cursor = (p + 1) % self.n_procs;
+            }
+        }
+        LogEvent {
+            committer: rec.committer,
+            chunk_index: rec.chunk_index,
+            cs_size,
+            interrupt: rec.interrupt,
+            io_values: rec.io_values.clone(),
+            dma_data: rec.dma_data.clone(),
+            access_lines: if has_pi {
+                rec.access_lines.clone()
+            } else {
+                Vec::new()
+            },
+            write_lines: if has_pi {
+                rec.write_lines.clone()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+}
+
+/// Recording-side [`ExecutionHooks`] that forward every commit straight
+/// into a [`LogSink`] — the streaming counterpart of
+/// [`Recorder`](crate::Recorder).
+#[derive(Debug)]
+pub struct StreamRecorder<'a, S: LogSink> {
+    bridge: CommitBridge,
+    sink: &'a mut S,
+}
+
+impl<'a, S: LogSink> StreamRecorder<'a, S> {
+    /// Hooks that record `mode` on an `n_procs` machine into `sink`.
+    /// The caller must have already sent [`LogSink::begin`].
+    pub fn new(mode: Mode, n_procs: u32, sink: &'a mut S) -> Self {
+        Self {
+            bridge: CommitBridge::new(mode, n_procs),
+            sink,
+        }
+    }
+}
+
+impl<S: LogSink> ExecutionHooks for StreamRecorder<'_, S> {
+    fn next_grant(&mut self, ctx: &ArbiterContext<'_>) -> Option<Committer> {
+        self.bridge.next_grant(ctx)
+    }
+
+    fn on_commit(&mut self, rec: &CommitRecord) {
+        let event = self.bridge.convert(rec);
+        self.sink.on_event(&event);
+    }
+
+    fn on_run_end(&mut self, stats: &RunStats) {
+        self.sink.finish(&StreamTrailer {
+            stats: stats.clone(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemorySink
+// ---------------------------------------------------------------------------
+
+/// A [`LogSink`] that accumulates the stream into the classic in-memory
+/// [`LogSet`] (and, when metadata and trailer were seen, a full
+/// [`Recording`]).
+#[derive(Debug)]
+pub struct MemorySink {
+    meta: Option<StreamMeta>,
+    mode: Mode,
+    n_procs: u32,
+    logs: LogSet,
+    commits: u64,
+    trailer: Option<StreamTrailer>,
+}
+
+fn shaped_logs(mode: Mode, n_procs: u32, chunk_size: u32) -> LogSet {
+    LogSet {
+        pi: PiLog::new(n_procs),
+        pi_footprints: Vec::new(),
+        pi_write_footprints: Vec::new(),
+        cs: (0..n_procs)
+            .map(|_| match mode {
+                Mode::OrderSize => CsLog::full(chunk_size),
+                Mode::OrderOnly => CsLog::order_only(),
+                Mode::PicoLog => CsLog::picolog(),
+            })
+            .collect(),
+        interrupts: (0..n_procs).map(|_| InterruptLog::new()).collect(),
+        io: (0..n_procs).map(|_| IoLog::new()).collect(),
+        dma: DmaLog::new(),
+    }
+}
+
+impl MemorySink {
+    /// An unshaped sink; [`LogSink::begin`] shapes it from the metadata.
+    pub fn new() -> Self {
+        Self::with_shape(Mode::OrderOnly, 1, 1)
+    }
+
+    /// A sink pre-shaped for standalone use without a `begin` call.
+    pub fn with_shape(mode: Mode, n_procs: u32, chunk_size: u32) -> Self {
+        Self {
+            meta: None,
+            mode,
+            n_procs,
+            logs: shaped_logs(mode, n_procs, chunk_size),
+            commits: 0,
+            trailer: None,
+        }
+    }
+
+    /// Commits seen so far.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Hands over the accumulated logs.
+    pub fn into_logs(self) -> LogSet {
+        self.logs
+    }
+
+    /// Assembles a full [`Recording`]; `None` unless both metadata and
+    /// trailer were received.
+    pub fn into_recording(self) -> Option<Recording> {
+        let meta = self.meta?;
+        let trailer = self.trailer?;
+        let mut checkpoint = SystemCheckpoint::initial(&meta.workload, meta.n_procs, meta.app_seed);
+        checkpoint.initial_mem_hash = meta.initial_mem_hash;
+        Some(Recording {
+            mode: meta.mode,
+            n_procs: meta.n_procs,
+            chunk_size: meta.chunk_size,
+            budget: meta.budget,
+            workload: meta.workload,
+            app_seed: meta.app_seed,
+            devices: meta.devices,
+            checkpoint,
+            interval: meta.interval,
+            logs: self.logs,
+            stats: trailer.stats,
+        })
+    }
+}
+
+impl Default for MemorySink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogSink for MemorySink {
+    fn begin(&mut self, meta: &StreamMeta) {
+        self.mode = meta.mode;
+        self.n_procs = meta.n_procs;
+        self.logs = shaped_logs(meta.mode, meta.n_procs, meta.chunk_size);
+        self.commits = 0;
+        self.trailer = None;
+        self.meta = Some(meta.clone());
+    }
+
+    fn on_event(&mut self, event: &LogEvent) {
+        match event.committer {
+            Committer::Proc(p) => {
+                if self.mode.has_pi_log() {
+                    self.logs.pi.push(Committer::Proc(p));
+                    self.logs.pi_footprints.push(event.access_lines.clone());
+                    self.logs
+                        .pi_write_footprints
+                        .push(event.write_lines.clone());
+                }
+                if let Some(size) = event.cs_size {
+                    self.logs.cs[p as usize].push(CsEntry {
+                        chunk_index: event.chunk_index,
+                        size,
+                    });
+                }
+                if let Some((vector, payload)) = event.interrupt {
+                    self.logs.interrupts[p as usize].push(InterruptEntry {
+                        chunk_index: event.chunk_index,
+                        vector,
+                        payload,
+                    });
+                }
+                if !event.io_values.is_empty() {
+                    self.logs.io[p as usize].push(IoEntry {
+                        chunk_index: event.chunk_index,
+                        values: event.io_values.clone(),
+                    });
+                }
+            }
+            Committer::Dma => {
+                self.logs.dma.push_transfer(event.dma_data.clone());
+                if self.mode.has_pi_log() {
+                    self.logs.pi.push(Committer::Dma);
+                    self.logs.pi_footprints.push(event.access_lines.clone());
+                    self.logs
+                        .pi_write_footprints
+                        .push(event.write_lines.clone());
+                } else {
+                    // The arbiter records the DMA's commit slot: the
+                    // number of commits granted before it.
+                    self.logs.dma.push_slot(self.commits);
+                }
+            }
+        }
+        self.commits += 1;
+    }
+
+    fn finish(&mut self, trailer: &StreamTrailer) {
+        self.trailer = Some(trailer.clone());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire codecs
+// ---------------------------------------------------------------------------
+
+fn encode_meta(meta: &StreamMeta) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(mode_tag(meta.mode));
+    w.u32(meta.n_procs);
+    w.u32(meta.chunk_size);
+    w.u64(meta.budget);
+    w.str(meta.workload.name);
+    w.u64(meta.app_seed);
+    w.u64(meta.devices.irq_period);
+    w.u64(meta.devices.dma_period);
+    w.u32(meta.devices.dma_words);
+    w.u64(meta.initial_mem_hash);
+    match &meta.interval {
+        None => w.u8(0),
+        Some(start) => {
+            w.u8(1);
+            w.u64(start.memory.len() as u64);
+            for &word in &start.memory {
+                w.u64(word);
+            }
+            for st in &start.vm_states {
+                w.bytes(&st.to_bytes());
+            }
+            for &c in &start.chunks_done {
+                w.u64(c);
+            }
+        }
+    }
+    w.buf
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<StreamMeta, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let mode = mode_from(r.u8("mode")?)?;
+    let n_procs = r.u32("n_procs")?;
+    if n_procs == 0 || n_procs > 1024 {
+        return Err(DecodeError::Truncated("n_procs"));
+    }
+    let chunk_size = r.u32("chunk_size")?;
+    let budget = r.u64("budget")?;
+    let name = r.str("workload name")?;
+    let workload = match workload::by_name(&name) {
+        Some(w) => *w,
+        None => return Err(DecodeError::UnknownWorkload(name)),
+    };
+    let app_seed = r.u64("app_seed")?;
+    let devices = DeviceConfig {
+        irq_period: r.u64("irq_period")?,
+        dma_period: r.u64("dma_period")?,
+        dma_words: r.u32("dma_words")?,
+    };
+    let initial_mem_hash = r.u64("checkpoint hash")?;
+    let interval = match r.u8("interval flag")? {
+        0 => None,
+        1 => {
+            let n = r.len("interval memory len")?;
+            let mut memory = Vec::with_capacity(n);
+            for _ in 0..n {
+                memory.push(r.u64("interval memory word")?);
+            }
+            let mut vm_states = Vec::with_capacity(n_procs as usize);
+            for _ in 0..n_procs {
+                let b = r.bytes("interval vm state")?;
+                vm_states.push(
+                    delorean_isa::vm::VmState::from_bytes(b)
+                        .ok_or(DecodeError::Truncated("interval vm state"))?,
+                );
+            }
+            let mut chunks_done = Vec::with_capacity(n_procs as usize);
+            for _ in 0..n_procs {
+                chunks_done.push(r.u64("interval chunks done")?);
+            }
+            Some(StartState {
+                memory,
+                vm_states,
+                chunks_done,
+            })
+        }
+        _ => return Err(DecodeError::Truncated("interval flag")),
+    };
+    if !r.done() {
+        return Err(DecodeError::Truncated("metadata trailing bytes"));
+    }
+    Ok(StreamMeta {
+        mode,
+        n_procs,
+        chunk_size,
+        budget,
+        workload,
+        app_seed,
+        devices,
+        initial_mem_hash,
+        interval,
+    })
+}
+
+fn encode_event(ev: &LogEvent, has_pi: bool, w: &mut Writer) {
+    match ev.committer {
+        Committer::Dma => {
+            w.u8(TAG_DMA);
+            w.u32(ev.dma_data.len() as u32);
+            for &(a, v) in &ev.dma_data {
+                w.u64(a);
+                w.u64(v);
+            }
+        }
+        Committer::Proc(p) => {
+            let mut tag = 0u8;
+            if ev.cs_size.is_some() {
+                tag |= TAG_CS;
+            }
+            if ev.interrupt.is_some() {
+                tag |= TAG_IRQ;
+            }
+            if !ev.io_values.is_empty() {
+                tag |= TAG_IO;
+            }
+            w.u8(tag);
+            w.u16(p as u16);
+            if let Some(size) = ev.cs_size {
+                w.u32(size);
+            }
+            if let Some((vector, payload)) = ev.interrupt {
+                w.u16(vector);
+                w.u64(payload);
+            }
+            if !ev.io_values.is_empty() {
+                w.u16(ev.io_values.len() as u16);
+                for &(port, v) in &ev.io_values {
+                    w.u16(port);
+                    w.u64(v);
+                }
+            }
+        }
+    }
+    if has_pi {
+        w.u32(ev.access_lines.len() as u32);
+        for &l in &ev.access_lines {
+            w.u64(l);
+        }
+        w.u32(ev.write_lines.len() as u32);
+        for &l in &ev.write_lines {
+            w.u64(l);
+        }
+    }
+}
+
+fn decode_footprints(
+    r: &mut Reader<'_>,
+    has_pi: bool,
+) -> Result<(Vec<u64>, Vec<u64>), DecodeError> {
+    if !has_pi {
+        return Ok((Vec::new(), Vec::new()));
+    }
+    let n = r.u32("footprint len")? as usize;
+    let mut access = Vec::new();
+    for _ in 0..n {
+        access.push(r.u64("footprint line")?);
+    }
+    let n = r.u32("write footprint len")? as usize;
+    let mut writes = Vec::new();
+    for _ in 0..n {
+        writes.push(r.u64("write footprint line")?);
+    }
+    Ok((access, writes))
+}
+
+fn decode_event(
+    r: &mut Reader<'_>,
+    mode: Mode,
+    n_procs: u32,
+    counters: &mut [u64],
+) -> Result<LogEvent, DecodeError> {
+    let has_pi = mode.has_pi_log();
+    let tag = r.u8("event tag")?;
+    if tag & TAG_DMA != 0 {
+        if tag != TAG_DMA {
+            return Err(DecodeError::Truncated("event tag"));
+        }
+        let n = r.u32("dma words")? as usize;
+        let mut data = Vec::new();
+        for _ in 0..n {
+            data.push((r.u64("dma addr")?, r.u64("dma value")?));
+        }
+        let (access_lines, write_lines) = decode_footprints(r, has_pi)?;
+        return Ok(LogEvent {
+            committer: Committer::Dma,
+            chunk_index: 0,
+            cs_size: None,
+            interrupt: None,
+            io_values: Vec::new(),
+            dma_data: data,
+            access_lines,
+            write_lines,
+        });
+    }
+    if tag & !(TAG_CS | TAG_IRQ | TAG_IO) != 0 {
+        return Err(DecodeError::Truncated("event tag"));
+    }
+    let core = u32::from(r.u16("event core")?);
+    if core >= n_procs {
+        return Err(DecodeError::Truncated("event core"));
+    }
+    let cs_size = if tag & TAG_CS != 0 {
+        Some(r.u32("cs size")?)
+    } else {
+        None
+    };
+    if mode == Mode::OrderSize && cs_size.is_none() {
+        // The Order&Size CS log must receive every chunk.
+        return Err(DecodeError::Truncated("cs size"));
+    }
+    let interrupt = if tag & TAG_IRQ != 0 {
+        Some((r.u16("irq vector")?, r.u64("irq payload")?))
+    } else {
+        None
+    };
+    let io_values = if tag & TAG_IO != 0 {
+        let n = r.u16("io count")? as usize;
+        let mut values = Vec::new();
+        for _ in 0..n {
+            values.push((r.u16("io port")?, r.u64("io value")?));
+        }
+        values
+    } else {
+        Vec::new()
+    };
+    let (access_lines, write_lines) = decode_footprints(r, has_pi)?;
+    counters[core as usize] += 1;
+    Ok(LogEvent {
+        committer: Committer::Proc(core),
+        chunk_index: counters[core as usize],
+        cs_size,
+        interrupt,
+        io_values,
+        dma_data: Vec::new(),
+        access_lines,
+        write_lines,
+    })
+}
+
+fn encode_trailer(trailer: &StreamTrailer) -> Vec<u8> {
+    let mut w = Writer::new();
+    let d = &trailer.stats.digest;
+    w.u64(d.mem_hash);
+    for &h in &d.stream_hashes {
+        w.u64(h);
+    }
+    for &x in &d.retired {
+        w.u64(x);
+    }
+    for &c in &d.committed_chunks {
+        w.u64(c);
+    }
+    let s = &trailer.stats;
+    w.u64(s.cycles);
+    w.u64(s.total_commits);
+    w.u64(s.squashes);
+    w.u64(s.overflow_truncations);
+    w.u64(s.collision_truncations);
+    w.u64(s.uncached_truncations);
+    w.u64(s.interrupts);
+    w.u64(s.dma_commits);
+    w.u64(s.work_units);
+    w.f64(s.avg_chunk_size);
+    w.buf
+}
+
+fn decode_trailer(bytes: &[u8], n_procs: u32) -> Result<StreamTrailer, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let mem_hash = r.u64("digest mem")?;
+    let mut stream_hashes = Vec::with_capacity(n_procs as usize);
+    for _ in 0..n_procs {
+        stream_hashes.push(r.u64("digest stream")?);
+    }
+    let mut retired = Vec::with_capacity(n_procs as usize);
+    for _ in 0..n_procs {
+        retired.push(r.u64("digest retired")?);
+    }
+    let mut committed_chunks = Vec::with_capacity(n_procs as usize);
+    for _ in 0..n_procs {
+        committed_chunks.push(r.u64("digest chunks")?);
+    }
+    let digest = StateDigest {
+        mem_hash,
+        stream_hashes,
+        retired,
+        committed_chunks,
+    };
+    let stats = RunStats {
+        cycles: r.u64("cycles")?,
+        total_commits: r.u64("total_commits")?,
+        squashes: r.u64("squashes")?,
+        squashed_insts: 0,
+        overflow_truncations: r.u64("overflow")?,
+        collision_truncations: r.u64("collision")?,
+        uncached_truncations: r.u64("uncached")?,
+        interrupts: r.u64("interrupts")?,
+        dma_commits: r.u64("dma_commits")?,
+        stall_cycles: vec![0; n_procs as usize],
+        traffic_bytes: 0,
+        avg_chunk_size: 0.0,
+        parallel: ParallelStats::default(),
+        token: None,
+        work_units: r.u64("work_units")?,
+        digest,
+    };
+    let mut stats = stats;
+    stats.avg_chunk_size = r.f64("avg_chunk_size")?;
+    if !r.done() {
+        return Err(DecodeError::Truncated("trailer trailing bytes"));
+    }
+    Ok(StreamTrailer { stats })
+}
+
+// ---------------------------------------------------------------------------
+// FileSink
+// ---------------------------------------------------------------------------
+
+/// A [`LogSink`] that frames the stream into the `.dlrn` binary format
+/// incrementally: every [`DEFAULT_FLUSH_EVERY`] events (configurable)
+/// the pending events are LZ77-compressed into one checksummed segment
+/// and written out, so peak buffering stays bounded by the flush
+/// granularity regardless of run length.
+#[derive(Debug)]
+pub struct FileSink<W: io::Write> {
+    out: Option<W>,
+    error: Option<io::Error>,
+    encoder: delorean_compress::lz77::Encoder,
+    flush_every: usize,
+    has_pi: bool,
+    events_pending: u32,
+    commits: u64,
+    chunks_done: Vec<u64>,
+    peak_buffered: usize,
+    bytes_written: u64,
+}
+
+impl<W: io::Write> FileSink<W> {
+    /// A sink writing to `out` with the default flush granularity.
+    pub fn new(out: W) -> Self {
+        Self::with_flush_every(out, DEFAULT_FLUSH_EVERY)
+    }
+
+    /// A sink flushing a segment every `flush_every` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flush_every` is zero.
+    pub fn with_flush_every(out: W, flush_every: usize) -> Self {
+        assert!(flush_every > 0, "flush granularity must be positive");
+        Self {
+            out: Some(out),
+            error: None,
+            encoder: delorean_compress::lz77::Encoder::new(),
+            flush_every,
+            has_pi: true,
+            events_pending: 0,
+            commits: 0,
+            chunks_done: Vec::new(),
+            peak_buffered: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// Largest number of encoded-but-unflushed event bytes held at any
+    /// point — the streaming pipeline's peak log buffering.
+    pub fn peak_buffered_bytes(&self) -> usize {
+        self.peak_buffered
+    }
+
+    /// Total bytes written to the underlying writer so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// First I/O error encountered, if any.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Recovers the writer, or the first I/O error hit while streaming.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched [`io::Error`] if any write failed.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(self
+                .out
+                .take()
+                .expect("writer present unless an error was latched")),
+        }
+    }
+
+    fn emit(&mut self, bytes: &[u8]) {
+        if self.error.is_some() {
+            return;
+        }
+        let out = self
+            .out
+            .as_mut()
+            .expect("writer present unless an error was latched");
+        if let Err(e) = out.write_all(bytes) {
+            self.error = Some(e);
+        } else {
+            self.bytes_written += bytes.len() as u64;
+        }
+    }
+
+    fn emit_segment(&mut self, kind: u8, body: &[u8]) {
+        let mut head = Writer::new();
+        head.u8(kind);
+        head.u64(body.len() as u64);
+        let mut f = fnv_hasher();
+        f.update(&[kind]);
+        f.update(&(body.len() as u64).to_le_bytes());
+        f.update(body);
+        head.u64(f.value());
+        self.emit(&head.buf);
+        self.emit(body);
+    }
+
+    fn flush_segment(&mut self) {
+        if self.events_pending == 0 {
+            return;
+        }
+        let mut body = Writer::new();
+        body.u64(self.commits);
+        for &c in &self.chunks_done {
+            body.u64(c);
+        }
+        body.u32(self.events_pending);
+        let block = self.encoder.flush_block();
+        body.buf.extend_from_slice(&block);
+        self.events_pending = 0;
+        self.emit_segment(SEG_EVENTS, &body.buf);
+    }
+}
+
+impl<W: io::Write> LogSink for FileSink<W> {
+    fn begin(&mut self, meta: &StreamMeta) {
+        self.has_pi = meta.mode.has_pi_log();
+        self.commits = 0;
+        self.chunks_done = meta.start_chunks();
+        self.events_pending = 0;
+        let meta_bytes = encode_meta(meta);
+        let mut w = Writer::new();
+        w.u32(MAGIC);
+        w.u16(VERSION);
+        let mut f = fnv_hasher();
+        f.update(&(meta_bytes.len() as u64).to_le_bytes());
+        f.update(&meta_bytes);
+        w.u64(f.value());
+        w.u64(meta_bytes.len() as u64);
+        w.buf.extend_from_slice(&meta_bytes);
+        self.emit(&w.buf);
+    }
+
+    fn on_event(&mut self, event: &LogEvent) {
+        let mut w = Writer::new();
+        encode_event(event, self.has_pi, &mut w);
+        self.encoder.push(&w.buf);
+        self.commits += 1;
+        if let Committer::Proc(p) = event.committer {
+            self.chunks_done[p as usize] += 1;
+        }
+        self.events_pending += 1;
+        self.peak_buffered = self.peak_buffered.max(self.encoder.pending_len());
+        if self.events_pending as usize >= self.flush_every {
+            self.flush_segment();
+        }
+    }
+
+    fn finish(&mut self, trailer: &StreamTrailer) {
+        self.flush_segment();
+        let body = encode_trailer(trailer);
+        self.emit_segment(SEG_TRAILER, &body);
+        if self.error.is_none() {
+            let out = self
+                .out
+                .as_mut()
+                .expect("writer present unless an error was latched");
+            if let Err(e) = out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording → stream reconstruction
+// ---------------------------------------------------------------------------
+
+/// Replays an existing [`Recording`]'s logs as an event stream into
+/// `sink` — metadata, every commit in the recorded global order, then
+/// the trailer. The streamed bytes are identical to what a live
+/// [`FileSink`] recording of the same execution produces.
+pub fn copy_recording<S: LogSink>(rec: &Recording, sink: &mut S) {
+    sink.begin(&StreamMeta::of_recording(rec));
+    for_each_event(rec, |ev| sink.on_event(&ev));
+    sink.finish(&StreamTrailer {
+        stats: rec.stats.clone(),
+    });
+}
+
+/// Walks a recording's logs in global commit order, regenerating the
+/// per-commit events.
+fn for_each_event(rec: &Recording, mut f: impl FnMut(LogEvent)) {
+    let n = rec.n_procs as usize;
+    let mut counters = match &rec.interval {
+        Some(s) => s.chunks_done.clone(),
+        None => vec![0u64; n],
+    };
+    let mut dma_cursor = 0usize;
+    let proc_event = |p: u32, idx: u64, access: Vec<u64>, writes: Vec<u64>| {
+        let pi = p as usize;
+        LogEvent {
+            committer: Committer::Proc(p),
+            chunk_index: idx,
+            cs_size: rec.logs.cs[pi].forced_size(idx),
+            interrupt: rec.logs.interrupts[pi].at_chunk(idx),
+            io_values: rec.logs.io[pi]
+                .entries()
+                .iter()
+                .find(|e| e.chunk_index == idx)
+                .map(|e| e.values.clone())
+                .unwrap_or_default(),
+            dma_data: Vec::new(),
+            access_lines: access,
+            write_lines: writes,
+        }
+    };
+    if rec.mode.has_pi_log() {
+        for (i, committer) in rec.logs.pi.iter().enumerate() {
+            let access = rec.logs.pi_footprints.get(i).cloned().unwrap_or_default();
+            let writes = rec
+                .logs
+                .pi_write_footprints
+                .get(i)
+                .cloned()
+                .unwrap_or_default();
+            match committer {
+                Committer::Proc(p) => {
+                    counters[p as usize] += 1;
+                    f(proc_event(p, counters[p as usize], access, writes));
+                }
+                Committer::Dma => {
+                    let data = rec
+                        .logs
+                        .dma
+                        .transfer(dma_cursor)
+                        .map(<[_]>::to_vec)
+                        .unwrap_or_default();
+                    dma_cursor += 1;
+                    f(LogEvent {
+                        committer: Committer::Dma,
+                        chunk_index: 0,
+                        cs_size: None,
+                        interrupt: None,
+                        io_values: Vec::new(),
+                        dma_data: data,
+                        access_lines: access,
+                        write_lines: writes,
+                    });
+                }
+            }
+        }
+    } else {
+        // PicoLog: regenerate the round-robin order exactly as the
+        // software inspector does, injecting DMA at its recorded slots.
+        let target = &rec.stats.digest.committed_chunks;
+        let n_dma = rec.logs.dma.len();
+        let mut rr = 0u32;
+        let mut gcc = 0u64;
+        loop {
+            if rec.logs.dma.slot(dma_cursor) == Some(gcc) {
+                let data = rec
+                    .logs
+                    .dma
+                    .transfer(dma_cursor)
+                    .map(<[_]>::to_vec)
+                    .unwrap_or_default();
+                dma_cursor += 1;
+                gcc += 1;
+                f(LogEvent {
+                    committer: Committer::Dma,
+                    chunk_index: 0,
+                    cs_size: None,
+                    interrupt: None,
+                    io_values: Vec::new(),
+                    dma_data: data,
+                    access_lines: Vec::new(),
+                    write_lines: Vec::new(),
+                });
+                continue;
+            }
+            let mut picked = None;
+            for k in 0..rec.n_procs {
+                let p = (rr + k) % rec.n_procs;
+                if counters[p as usize] < target[p as usize] {
+                    picked = Some(p);
+                    break;
+                }
+            }
+            let Some(p) = picked else {
+                debug_assert_eq!(
+                    dma_cursor, n_dma,
+                    "DMA slots past the last processor commit"
+                );
+                break;
+            };
+            counters[p as usize] += 1;
+            rr = (p + 1) % rec.n_procs;
+            gcc += 1;
+            f(proc_event(p, counters[p as usize], Vec::new(), Vec::new()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LogSource: the replay direction
+// ---------------------------------------------------------------------------
+
+/// Supplies a recorded log stream to a replayer, query-by-query, with
+/// explicit commit notifications so implementations can advance (and
+/// file-backed ones can evict consumed state).
+pub trait LogSource {
+    /// Execution mode of the stream.
+    fn mode(&self) -> Mode;
+    /// Processors in the recorded machine.
+    fn n_procs(&self) -> u32;
+    /// Stream metadata, when the source carries it.
+    fn meta(&self) -> Option<&StreamMeta>;
+    /// The next PI-log entry (PI modes), without consuming it.
+    fn pi_peek(&mut self) -> Option<Committer>;
+    /// The CS-log-forced size of `core`'s logical chunk `index`.
+    fn forced_size(&mut self, core: u32, index: u64) -> Option<u32>;
+    /// The interrupt delivered at the start of `core`'s chunk `index`.
+    fn interrupt_at(&mut self, core: u32, index: u64) -> Option<(u16, Word)>;
+    /// The `seq`-th I/O-load value of `core`'s chunk `index`.
+    fn io_value(&mut self, core: u32, index: u64, seq: u32) -> Option<Word>;
+    /// Whether the next DMA commit's recorded slot equals `gcc`
+    /// (PicoLog).
+    fn dma_slot_matches(&mut self, gcc: u64) -> bool;
+    /// The next DMA transfer's payload, without consuming it.
+    fn dma_next(&mut self) -> Option<Vec<(Addr, Word)>>;
+    /// Notes that `committer` committed, advancing the stream cursors.
+    fn note_commit(&mut self, committer: Committer);
+    /// Drains the stream and returns the trailer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the stream is corrupt, truncated or
+    /// carries no trailer.
+    fn finish(&mut self) -> Result<StreamTrailer, String>;
+    /// First stream error encountered, if any.
+    fn error(&self) -> Option<&str>;
+}
+
+/// A [`LogSource`] over a borrowed in-memory [`LogSet`].
+#[derive(Debug)]
+pub struct MemorySource<'r> {
+    mode: Mode,
+    n_procs: u32,
+    logs: &'r LogSet,
+    meta: Option<StreamMeta>,
+    stats: Option<&'r RunStats>,
+    pi_cursor: usize,
+    dma_cursor: usize,
+    dma_slot_cursor: usize,
+}
+
+impl<'r> MemorySource<'r> {
+    /// A source over bare logs (no metadata, no trailer).
+    pub fn from_logs(mode: Mode, n_procs: u32, logs: &'r LogSet) -> Self {
+        Self {
+            mode,
+            n_procs,
+            logs,
+            meta: None,
+            stats: None,
+            pi_cursor: 0,
+            dma_cursor: 0,
+            dma_slot_cursor: 0,
+        }
+    }
+
+    /// A source over a full recording, with metadata and trailer.
+    pub fn of_recording(rec: &'r Recording) -> Self {
+        let mut s = Self::from_logs(rec.mode, rec.n_procs, &rec.logs);
+        s.meta = Some(StreamMeta::of_recording(rec));
+        s.stats = Some(&rec.stats);
+        s
+    }
+}
+
+impl LogSource for MemorySource<'_> {
+    fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    fn n_procs(&self) -> u32 {
+        self.n_procs
+    }
+
+    fn meta(&self) -> Option<&StreamMeta> {
+        self.meta.as_ref()
+    }
+
+    fn pi_peek(&mut self) -> Option<Committer> {
+        self.logs.pi.get(self.pi_cursor)
+    }
+
+    fn forced_size(&mut self, core: u32, index: u64) -> Option<u32> {
+        self.logs.cs[core as usize].forced_size(index)
+    }
+
+    fn interrupt_at(&mut self, core: u32, index: u64) -> Option<(u16, Word)> {
+        self.logs.interrupts[core as usize].at_chunk(index)
+    }
+
+    fn io_value(&mut self, core: u32, index: u64, seq: u32) -> Option<Word> {
+        self.logs.io[core as usize].value(index, seq)
+    }
+
+    fn dma_slot_matches(&mut self, gcc: u64) -> bool {
+        self.logs.dma.slot(self.dma_slot_cursor) == Some(gcc)
+    }
+
+    fn dma_next(&mut self) -> Option<Vec<(Addr, Word)>> {
+        self.logs.dma.transfer(self.dma_cursor).map(<[_]>::to_vec)
+    }
+
+    fn note_commit(&mut self, committer: Committer) {
+        if self.mode.has_pi_log() {
+            self.pi_cursor += 1;
+        }
+        if committer == Committer::Dma {
+            self.dma_cursor += 1;
+            if self.mode == Mode::PicoLog {
+                self.dma_slot_cursor += 1;
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Result<StreamTrailer, String> {
+        self.stats
+            .map(|s| StreamTrailer { stats: s.clone() })
+            .ok_or_else(|| "in-memory log source carries no trailer".to_string())
+    }
+
+    fn error(&self) -> Option<&str> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment decoding and FileSource
+// ---------------------------------------------------------------------------
+
+/// Per-core queue of not-yet-consumed I/O log entries: chunk index plus
+/// that chunk's `(port, value)` loads.
+type IoQueue = VecDeque<(u64, Vec<(u16, Word)>)>;
+
+enum Segment {
+    Events(Vec<LogEvent>),
+    Trailer(Box<StreamTrailer>),
+    End,
+}
+
+fn read_exact_or<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), DecodeError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(DecodeError::Truncated(what)),
+        Err(e) => Err(DecodeError::Io(e.to_string())),
+    }
+}
+
+fn read_body<R: Read>(r: &mut R, len: u64, what: &'static str) -> Result<Vec<u8>, DecodeError> {
+    let mut body = Vec::new();
+    r.take(len)
+        .read_to_end(&mut body)
+        .map_err(|e| DecodeError::Io(e.to_string()))?;
+    if body.len() as u64 != len {
+        return Err(DecodeError::Truncated(what));
+    }
+    Ok(body)
+}
+
+/// Incremental decoder for the v2 `.dlrn` segment stream.
+struct SegmentDecoder<R: Read> {
+    reader: R,
+    meta: StreamMeta,
+    counters: Vec<u64>,
+    gcc: u64,
+    lz: delorean_compress::lz77::Decoder,
+    seen_trailer: bool,
+    done: bool,
+}
+
+impl<R: Read> SegmentDecoder<R> {
+    fn open(mut reader: R) -> Result<Self, DecodeError> {
+        let mut head = [0u8; 14];
+        read_exact_or(&mut reader, &mut head, "file header")?;
+        if u32::from_le_bytes(head[0..4].try_into().expect("slice of 4")) != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = u16::from_le_bytes(head[4..6].try_into().expect("slice of 2"));
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let checksum = u64::from_le_bytes(head[6..14].try_into().expect("slice of 8"));
+        let mut len_bytes = [0u8; 8];
+        read_exact_or(&mut reader, &mut len_bytes, "metadata length")?;
+        let meta_len = u64::from_le_bytes(len_bytes);
+        let meta_bytes = read_body(&mut reader, meta_len, "metadata")?;
+        let mut f = fnv_hasher();
+        f.update(&len_bytes);
+        f.update(&meta_bytes);
+        if f.value() != checksum {
+            return Err(DecodeError::BadChecksum);
+        }
+        let meta = decode_meta(&meta_bytes)?;
+        let counters = meta.start_chunks();
+        Ok(Self {
+            reader,
+            meta,
+            counters,
+            gcc: 0,
+            lz: delorean_compress::lz77::Decoder::new(),
+            seen_trailer: false,
+            done: false,
+        })
+    }
+
+    fn next(&mut self) -> Result<Segment, DecodeError> {
+        if self.done {
+            return Ok(Segment::End);
+        }
+        let mut kind = [0u8; 1];
+        match self.reader.read_exact(&mut kind) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                self.done = true;
+                if self.seen_trailer {
+                    return Ok(Segment::End);
+                }
+                return Err(DecodeError::Truncated("missing trailer segment"));
+            }
+            Err(e) => return Err(DecodeError::Io(e.to_string())),
+        }
+        if self.seen_trailer {
+            return Err(DecodeError::Truncated("data after trailer segment"));
+        }
+        let mut head = [0u8; 16];
+        read_exact_or(&mut self.reader, &mut head, "segment header")?;
+        let body_len = u64::from_le_bytes(head[0..8].try_into().expect("slice of 8"));
+        let checksum = u64::from_le_bytes(head[8..16].try_into().expect("slice of 8"));
+        let body = read_body(&mut self.reader, body_len, "segment body")?;
+        let mut f = fnv_hasher();
+        f.update(&kind);
+        f.update(&body_len.to_le_bytes());
+        f.update(&body);
+        if f.value() != checksum {
+            return Err(DecodeError::BadChecksum);
+        }
+        match kind[0] {
+            SEG_EVENTS => self.decode_events(&body).map(Segment::Events),
+            SEG_TRAILER => {
+                self.seen_trailer = true;
+                decode_trailer(&body, self.meta.n_procs).map(|t| Segment::Trailer(Box::new(t)))
+            }
+            _ => Err(DecodeError::Truncated("segment kind")),
+        }
+    }
+
+    fn decode_events(&mut self, body: &[u8]) -> Result<Vec<LogEvent>, DecodeError> {
+        let mut r = Reader::new(body);
+        let commits_end = r.u64("segment commit watermark")?;
+        let mut marks = Vec::with_capacity(self.meta.n_procs as usize);
+        for _ in 0..self.meta.n_procs {
+            marks.push(r.u64("segment chunk watermark")?);
+        }
+        let count = r.u32("segment event count")?;
+        let raw = self
+            .lz
+            .decode_block(&body[r.pos..])
+            .map_err(|_| DecodeError::Truncated("event block"))?;
+        let mut er = Reader::new(&raw);
+        let mut events = Vec::new();
+        for _ in 0..count {
+            events.push(decode_event(
+                &mut er,
+                self.meta.mode,
+                self.meta.n_procs,
+                &mut self.counters,
+            )?);
+            self.gcc += 1;
+        }
+        if !er.done() {
+            return Err(DecodeError::Truncated("event block trailing bytes"));
+        }
+        if self.gcc != commits_end || self.counters != marks {
+            return Err(DecodeError::Truncated("segment watermark"));
+        }
+        Ok(events)
+    }
+}
+
+/// Decodes a complete byte buffer into a [`Recording`] via a
+/// [`MemorySink`] — the whole-buffer façade over the streaming decoder.
+pub(crate) fn read_recording(bytes: &[u8]) -> Result<Recording, DecodeError> {
+    let mut dec = SegmentDecoder::open(bytes)?;
+    let mut sink = MemorySink::new();
+    sink.begin(&dec.meta.clone());
+    loop {
+        match dec.next()? {
+            Segment::Events(events) => {
+                for ev in &events {
+                    sink.on_event(ev);
+                }
+            }
+            Segment::Trailer(trailer) => sink.finish(&trailer),
+            Segment::End => break,
+        }
+    }
+    sink.into_recording()
+        .ok_or(DecodeError::Truncated("missing trailer segment"))
+}
+
+/// A [`LogSource`] that decodes `.dlrn` segments on demand from any
+/// reader, holding only the not-yet-consumed slice of the log in
+/// memory (consumed entries are evicted as commits are noted).
+pub struct FileSource<R: Read> {
+    dec: SegmentDecoder<R>,
+    pi: VecDeque<Committer>,
+    cs: Vec<VecDeque<(u64, u32)>>,
+    irq: Vec<VecDeque<(u64, u16, Word)>>,
+    io: Vec<IoQueue>,
+    dma: VecDeque<Vec<(Addr, Word)>>,
+    dma_slots: VecDeque<u64>,
+    committed: Vec<u64>,
+    chunks_seen: Vec<u64>,
+    commits_seen: u64,
+    trailer: Option<StreamTrailer>,
+    eof: bool,
+    error: Option<String>,
+}
+
+impl<R: Read> std::fmt::Debug for FileSource<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileSource")
+            .field("commits_seen", &self.commits_seen)
+            .field("eof", &self.eof)
+            .field("error", &self.error)
+            .finish()
+    }
+}
+
+impl<R: Read> FileSource<R> {
+    /// Opens a stream, reading and validating the header eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the header is corrupt, from an
+    /// incompatible version, or references an unknown workload.
+    pub fn open(reader: R) -> Result<Self, DecodeError> {
+        let dec = SegmentDecoder::open(reader)?;
+        let n = dec.meta.n_procs as usize;
+        let committed = dec.meta.start_chunks();
+        let chunks_seen = committed.clone();
+        Ok(Self {
+            dec,
+            pi: VecDeque::new(),
+            cs: vec![VecDeque::new(); n],
+            irq: vec![VecDeque::new(); n],
+            io: vec![VecDeque::new(); n],
+            dma: VecDeque::new(),
+            dma_slots: VecDeque::new(),
+            committed,
+            chunks_seen,
+            commits_seen: 0,
+            trailer: None,
+            eof: false,
+            error: None,
+        })
+    }
+
+    /// Number of log entries currently buffered (a measure of the
+    /// decoder's working set).
+    pub fn buffered_entries(&self) -> usize {
+        self.pi.len()
+            + self.dma.len()
+            + self.cs.iter().map(VecDeque::len).sum::<usize>()
+            + self.irq.iter().map(VecDeque::len).sum::<usize>()
+            + self.io.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    fn pump(&mut self) {
+        if self.eof {
+            return;
+        }
+        match self.dec.next() {
+            Ok(Segment::Events(events)) => {
+                let picolog = self.dec.meta.mode == Mode::PicoLog;
+                let has_pi = self.dec.meta.mode.has_pi_log();
+                for ev in events {
+                    if has_pi {
+                        self.pi.push_back(ev.committer);
+                    }
+                    match ev.committer {
+                        Committer::Proc(p) => {
+                            let pi = p as usize;
+                            self.chunks_seen[pi] = ev.chunk_index;
+                            if let Some(size) = ev.cs_size {
+                                self.cs[pi].push_back((ev.chunk_index, size));
+                            }
+                            if let Some((vector, payload)) = ev.interrupt {
+                                self.irq[pi].push_back((ev.chunk_index, vector, payload));
+                            }
+                            if !ev.io_values.is_empty() {
+                                self.io[pi].push_back((ev.chunk_index, ev.io_values));
+                            }
+                        }
+                        Committer::Dma => {
+                            if picolog {
+                                self.dma_slots.push_back(self.commits_seen);
+                            }
+                            self.dma.push_back(ev.dma_data);
+                        }
+                    }
+                    self.commits_seen += 1;
+                }
+            }
+            Ok(Segment::Trailer(trailer)) => self.trailer = Some(*trailer),
+            Ok(Segment::End) => self.eof = true,
+            Err(e) => {
+                self.error.get_or_insert_with(|| e.to_string());
+                self.eof = true;
+            }
+        }
+    }
+
+    fn pump_until_chunk(&mut self, core: u32, index: u64) {
+        while !self.eof && self.chunks_seen[core as usize] < index {
+            self.pump();
+        }
+    }
+}
+
+impl<R: Read> LogSource for FileSource<R> {
+    fn mode(&self) -> Mode {
+        self.dec.meta.mode
+    }
+
+    fn n_procs(&self) -> u32 {
+        self.dec.meta.n_procs
+    }
+
+    fn meta(&self) -> Option<&StreamMeta> {
+        Some(&self.dec.meta)
+    }
+
+    fn pi_peek(&mut self) -> Option<Committer> {
+        while !self.eof && self.pi.is_empty() {
+            self.pump();
+        }
+        self.pi.front().copied()
+    }
+
+    fn forced_size(&mut self, core: u32, index: u64) -> Option<u32> {
+        self.pump_until_chunk(core, index);
+        self.cs[core as usize]
+            .iter()
+            .find(|&&(i, _)| i == index)
+            .map(|&(_, s)| s)
+    }
+
+    fn interrupt_at(&mut self, core: u32, index: u64) -> Option<(u16, Word)> {
+        self.pump_until_chunk(core, index);
+        self.irq[core as usize]
+            .iter()
+            .find(|&&(i, _, _)| i == index)
+            .map(|&(_, v, p)| (v, p))
+    }
+
+    fn io_value(&mut self, core: u32, index: u64, seq: u32) -> Option<Word> {
+        self.pump_until_chunk(core, index);
+        self.io[core as usize]
+            .iter()
+            .find(|(i, _)| *i == index)
+            .and_then(|(_, values)| values.get(seq as usize))
+            .map(|&(_, v)| v)
+    }
+
+    fn dma_slot_matches(&mut self, gcc: u64) -> bool {
+        while !self.eof && self.dma_slots.is_empty() && self.commits_seen <= gcc {
+            self.pump();
+        }
+        self.dma_slots.front() == Some(&gcc)
+    }
+
+    fn dma_next(&mut self) -> Option<Vec<(Addr, Word)>> {
+        while !self.eof && self.dma.is_empty() {
+            self.pump();
+        }
+        self.dma.front().cloned()
+    }
+
+    fn note_commit(&mut self, committer: Committer) {
+        if self.dec.meta.mode.has_pi_log() {
+            self.pi.pop_front();
+        }
+        match committer {
+            Committer::Proc(p) => {
+                let pi = p as usize;
+                self.committed[pi] += 1;
+                let limit = self.committed[pi];
+                while self.cs[pi].front().is_some_and(|&(i, _)| i <= limit) {
+                    self.cs[pi].pop_front();
+                }
+                while self.irq[pi].front().is_some_and(|&(i, _, _)| i <= limit) {
+                    self.irq[pi].pop_front();
+                }
+                while self.io[pi].front().is_some_and(|(i, _)| *i <= limit) {
+                    self.io[pi].pop_front();
+                }
+            }
+            Committer::Dma => {
+                self.dma.pop_front();
+                if self.dec.meta.mode == Mode::PicoLog {
+                    self.dma_slots.pop_front();
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Result<StreamTrailer, String> {
+        while !self.eof {
+            self.pump();
+        }
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        self.trailer
+            .clone()
+            .ok_or_else(|| "stream ended without a trailer segment".to_string())
+    }
+
+    fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delorean_chunk::TruncationReason;
+
+    fn proc_record(p: u32, index: u64) -> CommitRecord {
+        CommitRecord {
+            committer: Committer::Proc(p),
+            chunk_index: index,
+            size: 500,
+            truncation: TruncationReason::Overflow,
+            global_slot: 0,
+            interrupt: Some((1, 0xbeef)),
+            io_values: vec![(2, 99)],
+            dma_data: Vec::new(),
+            access_lines: vec![3, 7],
+            write_lines: vec![7],
+        }
+    }
+
+    fn test_meta(mode: Mode, n_procs: u32) -> StreamMeta {
+        StreamMeta {
+            mode,
+            n_procs,
+            chunk_size: 1000,
+            budget: 4_000,
+            workload: *workload::by_name("lu").unwrap(),
+            app_seed: 5,
+            devices: DeviceConfig::none(),
+            initial_mem_hash: 0,
+            interval: None,
+        }
+    }
+
+    #[test]
+    fn bridge_matches_recorder_semantics() {
+        let mut bridge = CommitBridge::new(Mode::OrderOnly, 2);
+        let ev = bridge.convert(&proc_record(1, 1));
+        assert_eq!(ev.cs_size, Some(500), "overflow truncations are logged");
+        assert_eq!(ev.access_lines, vec![3, 7]);
+        let mut det = proc_record(1, 2);
+        det.truncation = TruncationReason::StandardSize;
+        assert_eq!(bridge.convert(&det).cs_size, None);
+
+        let mut pico = CommitBridge::new(Mode::PicoLog, 2);
+        let ev = pico.convert(&proc_record(0, 1));
+        assert!(ev.access_lines.is_empty(), "PicoLog carries no footprints");
+        assert_eq!(pico.rr_cursor, 1, "round-robin cursor follows commits");
+    }
+
+    #[test]
+    fn event_codec_round_trip() {
+        let mut bridge = CommitBridge::new(Mode::OrderOnly, 4);
+        let events = vec![
+            bridge.convert(&proc_record(2, 1)),
+            bridge.convert(&CommitRecord {
+                committer: Committer::Dma,
+                chunk_index: 0,
+                size: 0,
+                truncation: TruncationReason::StandardSize,
+                global_slot: 2,
+                interrupt: None,
+                io_values: Vec::new(),
+                dma_data: vec![(10, 20)],
+                access_lines: vec![1],
+                write_lines: vec![1],
+            }),
+        ];
+        let mut w = Writer::new();
+        for ev in &events {
+            encode_event(ev, true, &mut w);
+        }
+        let mut counters = vec![0u64; 4];
+        let mut r = Reader::new(&w.buf);
+        let a = decode_event(&mut r, Mode::OrderOnly, 4, &mut counters).unwrap();
+        let b = decode_event(&mut r, Mode::OrderOnly, 4, &mut counters).unwrap();
+        assert!(r.done());
+        assert_eq!(a, events[0]);
+        assert_eq!(b, events[1]);
+        assert_eq!(counters, vec![0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn meta_codec_round_trip() {
+        let meta = test_meta(Mode::PicoLog, 3);
+        let back = decode_meta(&encode_meta(&meta)).unwrap();
+        assert_eq!(back.mode, Mode::PicoLog);
+        assert_eq!(back.n_procs, 3);
+        assert_eq!(back.workload.name, "lu");
+        assert!(back.interval.is_none());
+    }
+
+    #[test]
+    fn file_sink_round_trips_through_file_source_queries() {
+        let mut sink = FileSink::new(Vec::new());
+        let meta = test_meta(Mode::OrderOnly, 2);
+        sink.begin(&meta);
+        let mut bridge = CommitBridge::new(Mode::OrderOnly, 2);
+        sink.on_event(&bridge.convert(&proc_record(0, 1)));
+        sink.on_event(&bridge.convert(&proc_record(1, 1)));
+        let stats = RunStats {
+            cycles: 10,
+            total_commits: 2,
+            squashes: 0,
+            squashed_insts: 0,
+            overflow_truncations: 2,
+            collision_truncations: 0,
+            uncached_truncations: 0,
+            interrupts: 2,
+            dma_commits: 0,
+            stall_cycles: vec![0, 0],
+            traffic_bytes: 0,
+            avg_chunk_size: 500.0,
+            parallel: ParallelStats::default(),
+            token: None,
+            work_units: 1,
+            digest: StateDigest {
+                mem_hash: 1,
+                stream_hashes: vec![2, 3],
+                retired: vec![500, 500],
+                committed_chunks: vec![1, 1],
+            },
+        };
+        sink.finish(&StreamTrailer { stats });
+        let bytes = sink.into_inner().unwrap();
+
+        let mut src = FileSource::open(&bytes[..]).unwrap();
+        assert_eq!(src.mode(), Mode::OrderOnly);
+        assert_eq!(src.pi_peek(), Some(Committer::Proc(0)));
+        assert_eq!(src.forced_size(0, 1), Some(500));
+        assert_eq!(src.interrupt_at(1, 1), Some((1, 0xbeef)));
+        assert_eq!(src.io_value(0, 1, 0), Some(99));
+        src.note_commit(Committer::Proc(0));
+        assert_eq!(src.pi_peek(), Some(Committer::Proc(1)));
+        src.note_commit(Committer::Proc(1));
+        assert_eq!(src.pi_peek(), None);
+        let trailer = src.finish().unwrap();
+        assert_eq!(trailer.stats.digest.mem_hash, 1);
+        assert_eq!(src.buffered_entries(), 0, "consumed entries are evicted");
+    }
+
+    #[test]
+    fn file_sink_flushes_segments_incrementally() {
+        let mut sink = FileSink::with_flush_every(Vec::new(), 2);
+        sink.begin(&test_meta(Mode::OrderOnly, 2));
+        let header_len = sink.bytes_written();
+        let mut bridge = CommitBridge::new(Mode::OrderOnly, 2);
+        sink.on_event(&bridge.convert(&proc_record(0, 1)));
+        assert_eq!(
+            sink.bytes_written(),
+            header_len,
+            "below the flush threshold"
+        );
+        sink.on_event(&bridge.convert(&proc_record(1, 1)));
+        assert!(
+            sink.bytes_written() > header_len,
+            "segment flushed at the threshold"
+        );
+        assert!(sink.peak_buffered_bytes() > 0);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_a_panic() {
+        let mut sink = FileSink::with_flush_every(Vec::new(), 1);
+        sink.begin(&test_meta(Mode::OrderOnly, 2));
+        let mut bridge = CommitBridge::new(Mode::OrderOnly, 2);
+        sink.on_event(&bridge.convert(&proc_record(0, 1)));
+        // No finish(): the stream has an event segment but no trailer.
+        let bytes = sink.into_inner().unwrap();
+        let mut src = FileSource::open(&bytes[..]).unwrap();
+        assert_eq!(src.pi_peek(), Some(Committer::Proc(0)));
+        let err = src.finish().unwrap_err();
+        assert!(err.contains("trailer"), "{err}");
+    }
+}

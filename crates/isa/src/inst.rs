@@ -214,7 +214,10 @@ impl Inst {
 
     /// Whether this instruction reads or writes data memory.
     pub fn is_mem(&self) -> bool {
-        matches!(self, Inst::Load { .. } | Inst::Store { .. } | Inst::Cas { .. })
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::Cas { .. }
+        )
     }
 }
 
@@ -254,17 +257,40 @@ mod tests {
 
     #[test]
     fn uncached_classification() {
-        assert!(Inst::IoLoad { rd: Reg::new(0), port: 1 }.is_uncached());
-        assert!(Inst::IoStore { rs: Reg::new(0), port: 1 }.is_uncached());
+        assert!(Inst::IoLoad {
+            rd: Reg::new(0),
+            port: 1
+        }
+        .is_uncached());
+        assert!(Inst::IoStore {
+            rs: Reg::new(0),
+            port: 1
+        }
+        .is_uncached());
         assert!(Inst::System { code: 3 }.is_uncached());
         assert!(!Inst::Nop.is_uncached());
-        assert!(!Inst::Load { rd: Reg::new(0), base: Reg::new(1), offset: 0 }.is_uncached());
+        assert!(!Inst::Load {
+            rd: Reg::new(0),
+            base: Reg::new(1),
+            offset: 0
+        }
+        .is_uncached());
     }
 
     #[test]
     fn mem_classification() {
-        assert!(Inst::Load { rd: Reg::new(0), base: Reg::new(1), offset: 0 }.is_mem());
-        assert!(Inst::Store { rs: Reg::new(0), base: Reg::new(1), offset: 0 }.is_mem());
+        assert!(Inst::Load {
+            rd: Reg::new(0),
+            base: Reg::new(1),
+            offset: 0
+        }
+        .is_mem());
+        assert!(Inst::Store {
+            rs: Reg::new(0),
+            base: Reg::new(1),
+            offset: 0
+        }
+        .is_mem());
         assert!(Inst::Cas {
             rd: Reg::new(0),
             base: Reg::new(1),

@@ -57,7 +57,15 @@ impl AddressMap {
         let mailbox_base = barrier_base + BARRIER_WORDS;
         let dma_base = mailbox_base + u64::from(threads) * MAILBOX_WORDS;
         let total = dma_base + DMA_WORDS;
-        Self { threads, shared_base, locks_base, barrier_base, mailbox_base, dma_base, total }
+        Self {
+            threads,
+            shared_base,
+            locks_base,
+            barrier_base,
+            mailbox_base,
+            dma_base,
+            total,
+        }
     }
 
     /// Number of threads the map was built for.

@@ -33,7 +33,11 @@ impl Program {
         if let Some(h) = handler {
             assert!(h < code.len(), "handler entry out of bounds");
         }
-        Self { code, entry, handler }
+        Self {
+            code,
+            entry,
+            handler,
+        }
     }
 
     /// The instruction at `pc`, or `None` past the end.
@@ -146,7 +150,11 @@ mod tests {
         let p = b.build(0, None);
         assert_eq!(
             p.inst_at(0),
-            Some(&Inst::BranchEq { ra: Reg::new(0), rb: Reg::new(1), target: 2 })
+            Some(&Inst::BranchEq {
+                ra: Reg::new(0),
+                rb: Reg::new(1),
+                target: 2
+            })
         );
     }
 

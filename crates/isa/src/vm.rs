@@ -58,7 +58,9 @@ impl FlatMemory {
     /// Panics if `words` is zero.
     pub fn new(words: u64) -> Self {
         assert!(words > 0, "memory must be non-empty");
-        Self { words: vec![0; words as usize] }
+        Self {
+            words: vec![0; words as usize],
+        }
     }
 
     /// Capacity in words.
@@ -120,7 +122,11 @@ pub struct StepInfo {
 
 impl StepInfo {
     fn none(kind: StepKind) -> Self {
-        Self { kind, mem_ops: [None, None], is_branch: false }
+        Self {
+            kind,
+            mem_ops: [None, None],
+            is_branch: false,
+        }
     }
 }
 
@@ -207,7 +213,15 @@ impl VmState {
         if pos != bytes.len() {
             return None;
         }
-        Some(VmState { regs, pc, halted, in_handler, saved, retired, hash })
+        Some(VmState {
+            regs,
+            pc,
+            halted,
+            in_handler,
+            saved,
+            retired,
+            hash,
+        })
     }
 }
 
@@ -376,7 +390,7 @@ impl Vm {
         if self.halted {
             return StepInfo::none(StepKind::Halted);
         }
-        let Some(&inst) = prog.inst_at(self.pc).as_deref() else {
+        let Some(&inst) = prog.inst_at(self.pc) else {
             self.halted = true;
             return StepInfo::none(StepKind::Halted);
         };
@@ -411,7 +425,13 @@ impl Vm {
                 fold(&mut self.hash, addr);
                 fold(&mut self.hash, v);
             }
-            Inst::Cas { rd, base, offset, expected, desired } => {
+            Inst::Cas {
+                rd,
+                base,
+                offset,
+                expected,
+                desired,
+            } => {
                 let addr = effective_addr(self.regs[base.index()], offset);
                 let cur = mem.load(addr);
                 info.mem_ops[0] = Some(MemOp { addr, write: false });
@@ -510,9 +530,20 @@ mod tests {
     #[test]
     fn store_load_round_trip() {
         let mut b = ProgramBuilder::new();
-        b.emit(Inst::Imm { rd: Reg::new(0), value: 42 });
-        b.emit(Inst::Store { rs: Reg::new(0), base: Reg::new(13), offset: 5 });
-        b.emit(Inst::Load { rd: Reg::new(1), base: Reg::new(13), offset: 5 });
+        b.emit(Inst::Imm {
+            rd: Reg::new(0),
+            value: 42,
+        });
+        b.emit(Inst::Store {
+            rs: Reg::new(0),
+            base: Reg::new(13),
+            offset: 5,
+        });
+        b.emit(Inst::Load {
+            rd: Reg::new(1),
+            base: Reg::new(13),
+            offset: 5,
+        });
         b.emit(Inst::Halt);
         let prog = b.build(0, None);
         let (vm, _) = run(&prog, 10);
@@ -524,8 +555,14 @@ mod tests {
     #[test]
     fn cas_success_and_failure() {
         let mut b = ProgramBuilder::new();
-        b.emit(Inst::Imm { rd: Reg::new(1), value: 0 }); // expected
-        b.emit(Inst::Imm { rd: Reg::new(2), value: 9 }); // desired
+        b.emit(Inst::Imm {
+            rd: Reg::new(1),
+            value: 0,
+        }); // expected
+        b.emit(Inst::Imm {
+            rd: Reg::new(2),
+            value: 9,
+        }); // desired
         b.emit(Inst::Cas {
             rd: Reg::new(3),
             base: Reg::new(13),
@@ -551,14 +588,23 @@ mod tests {
     #[test]
     fn branches_select_paths() {
         let mut b = ProgramBuilder::new();
-        b.emit(Inst::Imm { rd: Reg::new(0), value: 3 });
-        b.emit(Inst::Imm { rd: Reg::new(1), value: 3 });
+        b.emit(Inst::Imm {
+            rd: Reg::new(0),
+            value: 3,
+        });
+        b.emit(Inst::Imm {
+            rd: Reg::new(1),
+            value: 3,
+        });
         let l = b.emit_forward(Inst::BranchEq {
             ra: Reg::new(0),
             rb: Reg::new(1),
             target: usize::MAX,
         });
-        b.emit(Inst::Imm { rd: Reg::new(2), value: 111 }); // skipped
+        b.emit(Inst::Imm {
+            rd: Reg::new(2),
+            value: 111,
+        }); // skipped
         b.bind(l);
         b.emit(Inst::Halt);
         let prog = b.build(0, None);
@@ -571,9 +617,20 @@ mod tests {
         // while mem[shared] == 0 {}  — step manually, flip the flag.
         let mut b = ProgramBuilder::new();
         let top = b.here();
-        b.emit(Inst::Load { rd: Reg::new(0), base: Reg::new(12), offset: 0 });
-        b.emit(Inst::Imm { rd: Reg::new(1), value: 0 });
-        b.emit(Inst::BranchEq { ra: Reg::new(0), rb: Reg::new(1), target: top });
+        b.emit(Inst::Load {
+            rd: Reg::new(0),
+            base: Reg::new(12),
+            offset: 0,
+        });
+        b.emit(Inst::Imm {
+            rd: Reg::new(1),
+            value: 0,
+        });
+        b.emit(Inst::BranchEq {
+            ra: Reg::new(0),
+            rb: Reg::new(1),
+            target: top,
+        });
         b.emit(Inst::Halt);
         let prog = b.build(0, None);
         let m = map();
@@ -595,12 +652,19 @@ mod tests {
     fn interrupt_banks_and_restores_state() {
         let mut b = ProgramBuilder::new();
         // main: r0 <- 7; loop: jump loop
-        b.emit(Inst::Imm { rd: Reg::new(0), value: 7 });
+        b.emit(Inst::Imm {
+            rd: Reg::new(0),
+            value: 7,
+        });
         let lp = b.here();
         b.emit(Inst::Jump { target: lp });
         // handler: write payload to mailbox, iret
         let h = b.here();
-        b.emit(Inst::Store { rs: Reg::new(9), base: Reg::new(13), offset: 1 });
+        b.emit(Inst::Store {
+            rs: Reg::new(9),
+            base: Reg::new(13),
+            offset: 1,
+        });
         b.emit(Inst::Iret);
         let prog = b.build(0, Some(h));
         let m = map();
@@ -622,7 +686,10 @@ mod tests {
     #[test]
     fn vm_state_byte_round_trip() {
         let mut b = ProgramBuilder::new();
-        b.emit(Inst::Imm { rd: Reg::new(0), value: 9 });
+        b.emit(Inst::Imm {
+            rd: Reg::new(0),
+            value: 9,
+        });
         let lp = b.here();
         b.emit(Inst::Jump { target: lp });
         let h = b.here();
@@ -648,8 +715,14 @@ mod tests {
     #[test]
     fn snapshot_restore_round_trips() {
         let mut b = ProgramBuilder::new();
-        b.emit(Inst::Imm { rd: Reg::new(0), value: 1 });
-        b.emit(Inst::Imm { rd: Reg::new(0), value: 2 });
+        b.emit(Inst::Imm {
+            rd: Reg::new(0),
+            value: 1,
+        });
+        b.emit(Inst::Imm {
+            rd: Reg::new(0),
+            value: 2,
+        });
         b.emit(Inst::Halt);
         let prog = b.build(0, None);
         let m = map();
@@ -670,7 +743,11 @@ mod tests {
     #[test]
     fn stream_hash_is_load_value_sensitive() {
         let mut b = ProgramBuilder::new();
-        b.emit(Inst::Load { rd: Reg::new(0), base: Reg::new(12), offset: 0 });
+        b.emit(Inst::Load {
+            rd: Reg::new(0),
+            base: Reg::new(12),
+            offset: 0,
+        });
         b.emit(Inst::Halt);
         let prog = b.build(0, None);
         let m = map();
@@ -691,7 +768,10 @@ mod tests {
     #[test]
     fn uncached_kinds_reported() {
         let mut b = ProgramBuilder::new();
-        b.emit(Inst::IoLoad { rd: Reg::new(0), port: 2 });
+        b.emit(Inst::IoLoad {
+            rd: Reg::new(0),
+            port: 2,
+        });
         b.emit(Inst::System { code: 1 });
         b.emit(Inst::Halt);
         let prog = b.build(0, None);

@@ -132,15 +132,23 @@ impl WorkloadSpec {
     /// layout regions.
     pub fn generate(&self, tid: u32, n_threads: u32, map: &AddressMap, seed: u64) -> Program {
         assert!(tid < n_threads, "tid out of range");
-        assert!(self.shared_span <= crate::layout::SHARED_WORDS, "shared span too large");
-        assert!(self.private_span <= crate::layout::PRIVATE_WORDS, "private span too large");
+        assert!(
+            self.shared_span <= crate::layout::SHARED_WORDS,
+            "shared span too large"
+        );
+        assert!(
+            self.private_span <= crate::layout::PRIVATE_WORDS,
+            "private span too large"
+        );
         assert!(self.lock_count <= LOCK_COUNT, "too many locks");
         Gen::new(self, tid, n_threads, map, seed).run()
     }
 
     /// Generates one program per thread.
     pub fn programs(&self, n_threads: u32, map: &AddressMap, seed: u64) -> Vec<Program> {
-        (0..n_threads).map(|t| self.generate(t, n_threads, map, seed)).collect()
+        (0..n_threads)
+            .map(|t| self.generate(t, n_threads, map, seed))
+            .collect()
     }
 }
 
@@ -187,9 +195,8 @@ impl<'a> Gen<'a> {
         map: &'a AddressMap,
         seed: u64,
     ) -> Self {
-        let rng = SmallRng::seed_from_u64(
-            seed ^ (u64::from(tid).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
-        );
+        let rng =
+            SmallRng::seed_from_u64(seed ^ (u64::from(tid).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
         Gen {
             spec,
             tid,
@@ -205,12 +212,27 @@ impl<'a> Gen<'a> {
 
     fn run(mut self) -> Program {
         // Prologue.
-        self.b.emit(Inst::Imm { rd: R_ZERO, value: 0 });
-        self.b.emit(Inst::Imm { rd: R_ITER, value: 0 });
-        self.b.emit(Inst::Imm { rd: R_SENSE, value: 0 });
+        self.b.emit(Inst::Imm {
+            rd: R_ZERO,
+            value: 0,
+        });
+        self.b.emit(Inst::Imm {
+            rd: R_ITER,
+            value: 0,
+        });
+        self.b.emit(Inst::Imm {
+            rd: R_SENSE,
+            value: 0,
+        });
         let acc0 = self.rng.gen::<u64>();
-        self.b.emit(Inst::Imm { rd: R_ACC, value: acc0 });
-        self.b.emit(Inst::Imm { rd: R_IDX, value: acc0 ^ u64::from(self.tid) });
+        self.b.emit(Inst::Imm {
+            rd: R_ACC,
+            value: acc0,
+        });
+        self.b.emit(Inst::Imm {
+            rd: R_IDX,
+            value: acc0 ^ u64::from(self.tid),
+        });
         let loop_top = self.b.here();
 
         // Static loop bodies are ~BLOCKS_PER_ITER x BLOCK_LEN
@@ -220,7 +242,10 @@ impl<'a> Gen<'a> {
         let lock_factor = if self.spec.lock_every == 0 {
             1
         } else {
-            self.spec.lock_every.div_ceil(lock_spacing).next_power_of_two()
+            self.spec
+                .lock_every
+                .div_ceil(lock_spacing)
+                .next_power_of_two()
         };
         for block in 0..BLOCKS_PER_ITER {
             self.body_block();
@@ -242,20 +267,53 @@ impl<'a> Gen<'a> {
             self.guarded_barrier();
         }
 
-        self.b.emit(Inst::AddImm { rd: R_ITER, ra: R_ITER, imm: 1 });
+        self.b.emit(Inst::AddImm {
+            rd: R_ITER,
+            ra: R_ITER,
+            imm: 1,
+        });
         // Refresh the irregular index stream so iterations diverge.
-        self.b.emit(Inst::Alu { rd: R_IDX, ra: R_IDX, rb: R_ITER, op: AluOp::Mix });
+        self.b.emit(Inst::Alu {
+            rd: R_IDX,
+            ra: R_IDX,
+            rb: R_ITER,
+            op: AluOp::Mix,
+        });
         self.b.emit(Inst::Jump { target: loop_top });
 
         // Interrupt handler: mix the payload and a timer read into the
         // per-thread mailbox.
         let handler = self.b.here();
-        self.b.emit(Inst::IoLoad { rd: R_IO, port: PORT_TIMER });
-        self.b.emit(Inst::Imm { rd: R_ADDR, value: self.map.mailbox_base(self.tid) });
-        self.b.emit(Inst::Load { rd: R_T7, base: R_ADDR, offset: 0 });
-        self.b.emit(Inst::Alu { rd: R_T7, ra: R_T7, rb: R_PAYLOAD, op: AluOp::Mix });
-        self.b.emit(Inst::Alu { rd: R_T7, ra: R_T7, rb: R_IO, op: AluOp::Add });
-        self.b.emit(Inst::Store { rs: R_T7, base: R_ADDR, offset: 0 });
+        self.b.emit(Inst::IoLoad {
+            rd: R_IO,
+            port: PORT_TIMER,
+        });
+        self.b.emit(Inst::Imm {
+            rd: R_ADDR,
+            value: self.map.mailbox_base(self.tid),
+        });
+        self.b.emit(Inst::Load {
+            rd: R_T7,
+            base: R_ADDR,
+            offset: 0,
+        });
+        self.b.emit(Inst::Alu {
+            rd: R_T7,
+            ra: R_T7,
+            rb: R_PAYLOAD,
+            op: AluOp::Mix,
+        });
+        self.b.emit(Inst::Alu {
+            rd: R_T7,
+            ra: R_T7,
+            rb: R_IO,
+            op: AluOp::Add,
+        });
+        self.b.emit(Inst::Store {
+            rs: R_T7,
+            base: R_ADDR,
+            offset: 0,
+        });
         self.b.emit(Inst::Iret);
 
         self.b.build(0, Some(handler))
@@ -274,9 +332,23 @@ impl<'a> Gen<'a> {
         }
         // Data-dependent hammock: skip one op when acc is even.
         self.b.emit(Inst::Imm { rd: R_T1, value: 1 });
-        self.b.emit(Inst::Alu { rd: R_T2, ra: R_ACC, rb: R_T1, op: AluOp::And });
-        let skip = self.b.emit_forward(Inst::BranchEq { ra: R_T2, rb: R_ZERO, target: 0 });
-        self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_T1, op: AluOp::Add });
+        self.b.emit(Inst::Alu {
+            rd: R_T2,
+            ra: R_ACC,
+            rb: R_T1,
+            op: AluOp::And,
+        });
+        let skip = self.b.emit_forward(Inst::BranchEq {
+            ra: R_T2,
+            rb: R_ZERO,
+            target: 0,
+        });
+        self.b.emit(Inst::Alu {
+            rd: R_ACC,
+            ra: R_ACC,
+            rb: R_T1,
+            op: AluOp::Add,
+        });
         self.b.bind(skip);
         emitted += 4;
         self.since_lock += emitted;
@@ -287,7 +359,12 @@ impl<'a> Gen<'a> {
     fn alu_op(&mut self) -> u32 {
         let ops = [AluOp::Add, AluOp::Xor, AluOp::Mul, AluOp::Mix, AluOp::Sub];
         let op = ops[self.rng.gen_range(0..ops.len())];
-        self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_IDX, op });
+        self.b.emit(Inst::Alu {
+            rd: R_ACC,
+            ra: R_ACC,
+            rb: R_IDX,
+            op,
+        });
         1
     }
 
@@ -303,11 +380,24 @@ impl<'a> Gen<'a> {
     fn private_access(&mut self) -> u32 {
         let off = self.rng.gen_range(0..self.spec.private_span) as i64;
         if self.rng.gen_bool(0.4) {
-            self.b.emit(Inst::Store { rs: R_ACC, base: R_PRIV, offset: off });
+            self.b.emit(Inst::Store {
+                rs: R_ACC,
+                base: R_PRIV,
+                offset: off,
+            });
             1
         } else {
-            self.b.emit(Inst::Load { rd: R_T3, base: R_PRIV, offset: off });
-            self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_T3, op: AluOp::Xor });
+            self.b.emit(Inst::Load {
+                rd: R_T3,
+                base: R_PRIV,
+                offset: off,
+            });
+            self.b.emit(Inst::Alu {
+                rd: R_ACC,
+                ra: R_ACC,
+                rb: R_T3,
+                op: AluOp::Xor,
+            });
             2
         }
     }
@@ -319,8 +409,8 @@ impl<'a> Gen<'a> {
         // the shared region (SPLASH-style block decomposition); only
         // `cross_frac` of them reach other threads' data.
         let cross = hot || self.rng.gen_bool(self.spec.cross_frac);
-        let part_span = (self.spec.shared_span / u64::from(self.n_threads.next_power_of_two()))
-            .max(64);
+        let part_span =
+            (self.spec.shared_span / u64::from(self.n_threads.next_power_of_two())).max(64);
         let (span, base_off) = if hot {
             (self.spec.hot_words, 0)
         } else if cross {
@@ -332,30 +422,81 @@ impl<'a> Gen<'a> {
         if irregular {
             // addr = shared_base + base_off + (mix(idx, salt) & (span-1))
             let salt = self.rng.gen::<u64>();
-            self.b.emit(Inst::Imm { rd: R_T4, value: salt });
-            self.b.emit(Inst::Alu { rd: R_ADDR, ra: R_IDX, rb: R_T4, op: AluOp::Mix });
-            self.b.emit(Inst::Imm { rd: R_T4, value: span - 1 });
-            self.b.emit(Inst::Alu { rd: R_ADDR, ra: R_ADDR, rb: R_T4, op: AluOp::And });
-            self.b.emit(Inst::Alu { rd: R_ADDR, ra: R_ADDR, rb: R_SHARED, op: AluOp::Add });
+            self.b.emit(Inst::Imm {
+                rd: R_T4,
+                value: salt,
+            });
+            self.b.emit(Inst::Alu {
+                rd: R_ADDR,
+                ra: R_IDX,
+                rb: R_T4,
+                op: AluOp::Mix,
+            });
+            self.b.emit(Inst::Imm {
+                rd: R_T4,
+                value: span - 1,
+            });
+            self.b.emit(Inst::Alu {
+                rd: R_ADDR,
+                ra: R_ADDR,
+                rb: R_T4,
+                op: AluOp::And,
+            });
+            self.b.emit(Inst::Alu {
+                rd: R_ADDR,
+                ra: R_ADDR,
+                rb: R_SHARED,
+                op: AluOp::Add,
+            });
             if base_off != 0 {
-                self.b.emit(Inst::AddImm { rd: R_ADDR, ra: R_ADDR, imm: base_off as i64 });
+                self.b.emit(Inst::AddImm {
+                    rd: R_ADDR,
+                    ra: R_ADDR,
+                    imm: base_off as i64,
+                });
             }
             if write {
-                self.b.emit(Inst::Store { rs: R_ACC, base: R_ADDR, offset: 0 });
+                self.b.emit(Inst::Store {
+                    rs: R_ACC,
+                    base: R_ADDR,
+                    offset: 0,
+                });
                 6
             } else {
-                self.b.emit(Inst::Load { rd: R_T3, base: R_ADDR, offset: 0 });
-                self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_T3, op: AluOp::Xor });
+                self.b.emit(Inst::Load {
+                    rd: R_T3,
+                    base: R_ADDR,
+                    offset: 0,
+                });
+                self.b.emit(Inst::Alu {
+                    rd: R_ACC,
+                    ra: R_ACC,
+                    rb: R_T3,
+                    op: AluOp::Xor,
+                });
                 7
             }
         } else {
             let off = (base_off + self.rng.gen_range(0..span)) as i64;
             if write {
-                self.b.emit(Inst::Store { rs: R_ACC, base: R_SHARED, offset: off });
+                self.b.emit(Inst::Store {
+                    rs: R_ACC,
+                    base: R_SHARED,
+                    offset: off,
+                });
                 1
             } else {
-                self.b.emit(Inst::Load { rd: R_T3, base: R_SHARED, offset: off });
-                self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_T3, op: AluOp::Xor });
+                self.b.emit(Inst::Load {
+                    rd: R_T3,
+                    base: R_SHARED,
+                    offset: off,
+                });
+                self.b.emit(Inst::Alu {
+                    rd: R_ACC,
+                    ra: R_ACC,
+                    rb: R_T3,
+                    op: AluOp::Xor,
+                });
                 2
             }
         }
@@ -365,7 +506,10 @@ impl<'a> Gen<'a> {
     fn critical_section(&mut self) {
         let lock = self.pick_lock();
         let lock_addr = self.map.lock_addr(lock);
-        self.b.emit(Inst::Imm { rd: R_ADDR, value: lock_addr });
+        self.b.emit(Inst::Imm {
+            rd: R_ADDR,
+            value: lock_addr,
+        });
         self.b.emit(Inst::Imm { rd: R_T1, value: 0 });
         self.b.emit(Inst::Imm { rd: R_T2, value: 1 });
         let spin = self.b.here();
@@ -376,17 +520,38 @@ impl<'a> Gen<'a> {
             expected: R_T1,
             desired: R_T2,
         });
-        self.b.emit(Inst::BranchEq { ra: R_T3, rb: R_ZERO, target: spin });
+        self.b.emit(Inst::BranchEq {
+            ra: R_T3,
+            rb: R_ZERO,
+            target: spin,
+        });
         // Critical body: read-modify-write the lock's data words.
         let body_ops = (self.spec.crit_len / 3).max(1);
         for k in 0..body_ops {
             let off = 1 + (k as i64 % 3);
-            self.b.emit(Inst::Load { rd: R_T4, base: R_ADDR, offset: off });
-            self.b.emit(Inst::Alu { rd: R_T4, ra: R_T4, rb: R_ACC, op: AluOp::Add });
-            self.b.emit(Inst::Store { rs: R_T4, base: R_ADDR, offset: off });
+            self.b.emit(Inst::Load {
+                rd: R_T4,
+                base: R_ADDR,
+                offset: off,
+            });
+            self.b.emit(Inst::Alu {
+                rd: R_T4,
+                ra: R_T4,
+                rb: R_ACC,
+                op: AluOp::Add,
+            });
+            self.b.emit(Inst::Store {
+                rs: R_T4,
+                base: R_ADDR,
+                offset: off,
+            });
         }
         // Release.
-        self.b.emit(Inst::Store { rs: R_ZERO, base: R_ADDR, offset: 0 });
+        self.b.emit(Inst::Store {
+            rs: R_ZERO,
+            base: R_ADDR,
+            offset: 0,
+        });
     }
 
     fn pick_lock(&mut self) -> u64 {
@@ -401,21 +566,50 @@ impl<'a> Gen<'a> {
     /// iterations.
     fn guarded_barrier(&mut self) {
         let mask = (1u64 << (self.spec.barrier_every_iters - 1)) - 1;
-        self.b.emit(Inst::Imm { rd: R_T1, value: mask });
-        self.b.emit(Inst::Alu { rd: R_T2, ra: R_ITER, rb: R_T1, op: AluOp::And });
-        let to_bar = self.b.emit_forward(Inst::BranchEq { ra: R_T2, rb: R_ZERO, target: 0 });
+        self.b.emit(Inst::Imm {
+            rd: R_T1,
+            value: mask,
+        });
+        self.b.emit(Inst::Alu {
+            rd: R_T2,
+            ra: R_ITER,
+            rb: R_T1,
+            op: AluOp::And,
+        });
+        let to_bar = self.b.emit_forward(Inst::BranchEq {
+            ra: R_T2,
+            rb: R_ZERO,
+            target: 0,
+        });
         let skip_all = self.b.emit_forward(Inst::Jump { target: 0 });
         self.b.bind(to_bar);
 
         let bar = self.map.barrier_base();
         // Flip local sense.
         self.b.emit(Inst::Imm { rd: R_T1, value: 1 });
-        self.b.emit(Inst::Alu { rd: R_SENSE, ra: R_SENSE, rb: R_T1, op: AluOp::Xor });
-        self.b.emit(Inst::Imm { rd: R_ADDR, value: bar });
+        self.b.emit(Inst::Alu {
+            rd: R_SENSE,
+            ra: R_SENSE,
+            rb: R_T1,
+            op: AluOp::Xor,
+        });
+        self.b.emit(Inst::Imm {
+            rd: R_ADDR,
+            value: bar,
+        });
         // Atomic increment of the arrival count.
         let inc = self.b.here();
-        self.b.emit(Inst::Load { rd: R_T2, base: R_ADDR, offset: 0 });
-        self.b.emit(Inst::Alu { rd: R_T3, ra: R_T2, rb: R_T1, op: AluOp::Add });
+        self.b.emit(Inst::Load {
+            rd: R_T2,
+            base: R_ADDR,
+            offset: 0,
+        });
+        self.b.emit(Inst::Alu {
+            rd: R_T3,
+            ra: R_T2,
+            rb: R_T1,
+            op: AluOp::Add,
+        });
         self.b.emit(Inst::Cas {
             rd: R_T4,
             base: R_ADDR,
@@ -423,18 +617,45 @@ impl<'a> Gen<'a> {
             expected: R_T2,
             desired: R_T3,
         });
-        self.b.emit(Inst::BranchEq { ra: R_T4, rb: R_ZERO, target: inc });
+        self.b.emit(Inst::BranchEq {
+            ra: R_T4,
+            rb: R_ZERO,
+            target: inc,
+        });
         // Last arriver resets the count and publishes the new sense.
-        self.b.emit(Inst::Imm { rd: R_T7, value: u64::from(self.n_threads) });
-        let last = self.b.emit_forward(Inst::BranchEq { ra: R_T3, rb: R_T7, target: 0 });
+        self.b.emit(Inst::Imm {
+            rd: R_T7,
+            value: u64::from(self.n_threads),
+        });
+        let last = self.b.emit_forward(Inst::BranchEq {
+            ra: R_T3,
+            rb: R_T7,
+            target: 0,
+        });
         // Waiters spin on the sense word.
         let wait = self.b.here();
-        self.b.emit(Inst::Load { rd: R_T2, base: R_ADDR, offset: 1 });
-        let done_w = self.b.emit_forward(Inst::BranchEq { ra: R_T2, rb: R_SENSE, target: 0 });
+        self.b.emit(Inst::Load {
+            rd: R_T2,
+            base: R_ADDR,
+            offset: 1,
+        });
+        let done_w = self.b.emit_forward(Inst::BranchEq {
+            ra: R_T2,
+            rb: R_SENSE,
+            target: 0,
+        });
         self.b.emit(Inst::Jump { target: wait });
         self.b.bind(last);
-        self.b.emit(Inst::Store { rs: R_ZERO, base: R_ADDR, offset: 0 });
-        self.b.emit(Inst::Store { rs: R_SENSE, base: R_ADDR, offset: 1 });
+        self.b.emit(Inst::Store {
+            rs: R_ZERO,
+            base: R_ADDR,
+            offset: 0,
+        });
+        self.b.emit(Inst::Store {
+            rs: R_SENSE,
+            base: R_ADDR,
+            offset: 1,
+        });
         self.b.bind(done_w);
         self.b.bind(skip_all);
     }
@@ -447,10 +668,25 @@ impl<'a> Gen<'a> {
     /// sections.
     fn site_guard(&mut self, block: u32, period: u32) -> crate::program::Label {
         debug_assert!(period.is_power_of_two());
-        self.b.emit(Inst::Imm { rd: R_T1, value: u64::from(period - 1) });
-        self.b.emit(Inst::Alu { rd: R_T2, ra: R_ITER, rb: R_T1, op: AluOp::And });
-        self.b.emit(Inst::Imm { rd: R_T1, value: u64::from(block % period) });
-        let to_site = self.b.emit_forward(Inst::BranchEq { ra: R_T2, rb: R_T1, target: 0 });
+        self.b.emit(Inst::Imm {
+            rd: R_T1,
+            value: u64::from(period - 1),
+        });
+        self.b.emit(Inst::Alu {
+            rd: R_T2,
+            ra: R_ITER,
+            rb: R_T1,
+            op: AluOp::And,
+        });
+        self.b.emit(Inst::Imm {
+            rd: R_T1,
+            value: u64::from(block % period),
+        });
+        let to_site = self.b.emit_forward(Inst::BranchEq {
+            ra: R_T2,
+            rb: R_T1,
+            target: 0,
+        });
         let skip = self.b.emit_forward(Inst::Jump { target: 0 });
         self.b.bind(to_site);
         skip
@@ -464,7 +700,9 @@ impl<'a> Gen<'a> {
 
     fn guarded_sys_site(&mut self, block: u32) {
         let skip = self.site_guard(block, 32);
-        self.b.emit(Inst::System { code: (block % 7) as u16 });
+        self.b.emit(Inst::System {
+            code: (block % 7) as u16,
+        });
         self.b.bind(skip);
     }
 
@@ -482,16 +720,41 @@ impl<'a> Gen<'a> {
     }
 
     fn io_site(&mut self, block: u32) {
-        self.b.emit(Inst::IoLoad { rd: R_IO, port: PORT_RNG });
-        self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_IO, op: AluOp::Mix });
+        self.b.emit(Inst::IoLoad {
+            rd: R_IO,
+            port: PORT_RNG,
+        });
+        self.b.emit(Inst::Alu {
+            rd: R_ACC,
+            ra: R_ACC,
+            rb: R_IO,
+            op: AluOp::Mix,
+        });
         // Branch on the device value: the replayed path must match.
         self.b.emit(Inst::Imm { rd: R_T1, value: 1 });
-        self.b.emit(Inst::Alu { rd: R_T2, ra: R_IO, rb: R_T1, op: AluOp::And });
-        let skip = self.b.emit_forward(Inst::BranchEq { ra: R_T2, rb: R_ZERO, target: 0 });
-        self.b.emit(Inst::Alu { rd: R_ACC, ra: R_ACC, rb: R_ACC, op: AluOp::Add });
+        self.b.emit(Inst::Alu {
+            rd: R_T2,
+            ra: R_IO,
+            rb: R_T1,
+            op: AluOp::And,
+        });
+        let skip = self.b.emit_forward(Inst::BranchEq {
+            ra: R_T2,
+            rb: R_ZERO,
+            target: 0,
+        });
+        self.b.emit(Inst::Alu {
+            rd: R_ACC,
+            ra: R_ACC,
+            rb: R_ACC,
+            op: AluOp::Add,
+        });
         self.b.bind(skip);
-        if block % 3 == 0 {
-            self.b.emit(Inst::IoStore { rs: R_ACC, port: PORT_STATUS });
+        if block.is_multiple_of(3) {
+            self.b.emit(Inst::IoStore {
+                rs: R_ACC,
+                port: PORT_STATUS,
+            });
         }
     }
 }
@@ -626,7 +889,10 @@ mod tests {
             assert!(!w.name.is_empty());
         }
         assert!(by_name("radix").is_some());
-        assert!(by_name("volrend").is_none(), "volrend fails in the paper's infra too");
+        assert!(
+            by_name("volrend").is_none(),
+            "volrend fails in the paper's infra too"
+        );
     }
 
     #[test]
@@ -653,7 +919,12 @@ mod tests {
             let mut io = NullIo;
             for _ in 0..20_000 {
                 let info = vm.step(&prog, &mut mem, &mut io);
-                assert_ne!(info.kind, crate::vm::StepKind::Halted, "{} halted", spec.name);
+                assert_ne!(
+                    info.kind,
+                    crate::vm::StepKind::Halted,
+                    "{} halted",
+                    spec.name
+                );
             }
             assert_eq!(vm.retired(), 20_000);
         }
@@ -670,7 +941,10 @@ mod tests {
             .count();
         // The handler contributes one IoLoad; commercial bodies add more.
         assert!(io_count > 1, "expected I/O sites, found {io_count}");
-        let sys = prog.iter().filter(|i| matches!(i, Inst::System { .. })).count();
+        let sys = prog
+            .iter()
+            .filter(|i| matches!(i, Inst::System { .. }))
+            .count();
         assert!(sys > 0);
     }
 

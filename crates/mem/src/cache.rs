@@ -19,7 +19,10 @@ impl CacheConfig {
     /// The paper's shared L2: 8 MB, 8-way, 32 B lines.
     pub fn l2() -> Self {
         // 8 MiB / 32 B / 8 ways = 32768 sets.
-        CacheConfig { sets: 32_768, ways: 8 }
+        CacheConfig {
+            sets: 32_768,
+            ways: 8,
+        }
     }
 }
 
@@ -162,7 +165,13 @@ mod tests {
     #[test]
     fn paper_geometries() {
         assert_eq!(CacheConfig::l1(), CacheConfig { sets: 256, ways: 4 });
-        assert_eq!(CacheConfig::l2(), CacheConfig { sets: 32_768, ways: 8 });
+        assert_eq!(
+            CacheConfig::l2(),
+            CacheConfig {
+                sets: 32_768,
+                ways: 8
+            }
+        );
     }
 
     #[test]

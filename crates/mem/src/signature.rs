@@ -29,7 +29,9 @@ pub struct Signature {
 
 impl Default for Signature {
     fn default() -> Self {
-        Self { bits: [0; SIG_WORDS] }
+        Self {
+            bits: [0; SIG_WORDS],
+        }
     }
 }
 
@@ -75,7 +77,10 @@ impl Signature {
 
     /// Signature intersection test (chunk conflict detection).
     pub fn intersects(&self, other: &Signature) -> bool {
-        self.bits.iter().zip(other.bits.iter()).any(|(a, b)| a & b != 0)
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .any(|(a, b)| a & b != 0)
     }
 
     /// In-place union (stratifier Signature Registers OR chunks in).
@@ -120,7 +125,9 @@ mod tests {
         for l in 0..64u64 {
             sig.insert(l * 977);
         }
-        let fp = (100_000..110_000u64).filter(|&l| sig.may_contain(l)).count();
+        let fp = (100_000..110_000u64)
+            .filter(|&l| sig.may_contain(l))
+            .count();
         // 128 of 2048 bits set, two hashes: fp rate ~ (128/2048)^2 ~ 0.4%.
         assert!(fp < 300, "false-positive rate too high: {fp}/10000");
     }

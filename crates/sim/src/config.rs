@@ -57,7 +57,10 @@ impl MachineConfig {
     /// The Table-5 configuration with a different processor count
     /// (Figure 12 sweeps 4/8/16).
     pub fn with_procs(n_procs: u32) -> Self {
-        Self { n_procs, ..Self::default() }
+        Self {
+            n_procs,
+            ..Self::default()
+        }
     }
 }
 

@@ -31,7 +31,11 @@ pub struct SeededDevices {
 impl SeededDevices {
     /// Creates the device bank.
     pub fn new(seed: u64) -> Self {
-        Self { rng: SmallRng::seed_from_u64(seed ^ 0xd0_d0_ca_fe), io_loads: 0, io_stores: 0 }
+        Self {
+            rng: SmallRng::seed_from_u64(seed ^ 0xd0_d0_ca_fe),
+            io_loads: 0,
+            io_stores: 0,
+        }
     }
 
     /// Number of I/O loads served.

@@ -105,7 +105,11 @@ impl Executor {
             ConsistencyModel::Tso => TimingParams::tso(),
             ConsistencyModel::Rc => TimingParams::rc(),
         };
-        Self { model, params, machine: MachineConfig::default() }
+        Self {
+            model,
+            params,
+            machine: MachineConfig::default(),
+        }
     }
 
     /// Overrides the machine configuration.
@@ -129,7 +133,10 @@ impl Executor {
     /// global interleaved order.
     pub fn run_with(&self, run: &RunSpec, sink: &mut dyn AccessSink) -> ExecResult {
         let n = run.n_procs;
-        let machine = MachineConfig { n_procs: n, ..self.machine };
+        let machine = MachineConfig {
+            n_procs: n,
+            ..self.machine
+        };
         let map = AddressMap::new(n);
         let mut memory = Memory::new(map.total_words());
         let mut memsys = MemorySystem::new(&machine);
@@ -141,8 +148,9 @@ impl Executor {
                 vm
             })
             .collect();
-        let mut devices: Vec<SeededDevices> =
-            (0..n).map(|t| SeededDevices::new(run.seed ^ (u64::from(t) << 32))).collect();
+        let mut devices: Vec<SeededDevices> = (0..n)
+            .map(|t| SeededDevices::new(run.seed ^ (u64::from(t) << 32)))
+            .collect();
         let mut time = vec![0f64; n as usize];
         let mut mem_ops = 0u64;
 
@@ -203,7 +211,7 @@ mod tests {
     use delorean_isa::workload::{self, WorkloadSpec};
 
     fn small_run(name: &str, procs: u32, budget: u64) -> RunSpec {
-        RunSpec::new(workload::by_name(name).unwrap().clone(), procs, 33, budget)
+        RunSpec::new(*workload::by_name(name).unwrap(), procs, 33, budget)
     }
 
     #[test]

@@ -34,7 +34,9 @@ mod timing;
 
 pub use config::MachineConfig;
 pub use devices::SeededDevices;
-pub use executor::{AccessRecord, AccessSink, ConsistencyModel, ExecResult, Executor, NullSink, VecSink};
+pub use executor::{
+    AccessRecord, AccessSink, ConsistencyModel, ExecResult, Executor, NullSink, VecSink,
+};
 pub use memsys::{AccessClass, MemorySystem};
 pub use timing::TimingParams;
 
@@ -65,7 +67,12 @@ impl RunSpec {
     ) -> Self {
         assert!(n_procs > 0, "need at least one processor");
         assert!(budget > 0, "budget must be positive");
-        Self { workload, n_procs, seed, budget }
+        Self {
+            workload,
+            n_procs,
+            seed,
+            budget,
+        }
     }
 
     /// Total machine-wide instruction budget.

@@ -12,7 +12,11 @@ use delorean::{Machine, Mode};
 use delorean_isa::workload;
 
 fn main() {
-    let machine = Machine::builder().mode(Mode::OrderOnly).procs(4).budget(20_000).build();
+    let machine = Machine::builder()
+        .mode(Mode::OrderOnly)
+        .procs(4)
+        .budget(20_000)
+        .build();
     let w = workload::by_name("cholesky").expect("catalog workload");
 
     // First interval: from the initial state.
@@ -25,7 +29,9 @@ fn main() {
     );
 
     // Take a system checkpoint at the end of the interval...
-    let ck1 = first.checkpoint_at(first.stats.total_commits).expect("checkpoint");
+    let ck1 = first
+        .checkpoint_at(first.stats.total_commits)
+        .expect("checkpoint");
     println!(
         "checkpoint at GCC {}: id {:#018x}, {} chunks committed so far",
         ck1.gcc,
@@ -35,7 +41,9 @@ fn main() {
 
     // ...and record the next interval from it (new machine timing, new
     // nondeterminism — a genuinely fresh recording).
-    let second = machine.record_interval(&ck1, 20_000).expect("compatible shape");
+    let second = machine
+        .record_interval(&ck1, 20_000)
+        .expect("compatible shape");
     println!(
         "interval 2: {} commits, runs to {} insts/proc",
         second.stats.total_commits,
@@ -43,8 +51,12 @@ fn main() {
     );
 
     // A third interval, chained from the second.
-    let ck2 = second.checkpoint_at(second.stats.total_commits).expect("checkpoint");
-    let third = machine.record_interval(&ck2, 20_000).expect("compatible shape");
+    let ck2 = second
+        .checkpoint_at(second.stats.total_commits)
+        .expect("checkpoint");
+    let third = machine
+        .record_interval(&ck2, 20_000)
+        .expect("compatible shape");
     println!(
         "interval 3: {} commits, runs to {} insts/proc",
         third.stats.total_commits,

@@ -17,7 +17,11 @@ fn main() {
         .mode(Mode::OrderOnly)
         .procs(4)
         .budget(40_000)
-        .devices(DeviceConfig { irq_period: 15_000, dma_period: 25_000, dma_words: 48 })
+        .devices(DeviceConfig {
+            irq_period: 15_000,
+            dma_period: 25_000,
+            dma_words: 48,
+        })
         .build();
     let w = workload::by_name("sweb2005").expect("catalog workload");
     let recording = machine.record(w, 314);
@@ -29,7 +33,10 @@ fn main() {
         "  I/O load values      : {}",
         recording.logs.io.iter().map(|l| l.len()).sum::<usize>()
     );
-    println!("  uncached truncations : {}", recording.stats.uncached_truncations);
+    println!(
+        "  uncached truncations : {}",
+        recording.stats.uncached_truncations
+    );
     for (p, log) in recording.logs.interrupts.iter().enumerate() {
         if let Some(first) = log.entries().first() {
             println!(

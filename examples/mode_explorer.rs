@@ -14,7 +14,11 @@ fn main() {
     let w = workload::by_name(&name).unwrap_or_else(|| {
         eprintln!(
             "unknown workload {name}; available: {}",
-            workload::catalog().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
+            workload::catalog()
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>()
+                .join(", ")
         );
         std::process::exit(1);
     });
@@ -26,7 +30,11 @@ fn main() {
     );
 
     for mode in Mode::all() {
-        let machine = Machine::builder().mode(mode).procs(8).budget(budget).build();
+        let machine = Machine::builder()
+            .mode(mode)
+            .procs(8)
+            .budget(budget)
+            .build();
         let recording = machine.record(w, 99);
         let report = machine.replay(&recording).expect("shape");
         assert!(report.deterministic, "{:?}", report.divergence);
@@ -34,8 +42,7 @@ fn main() {
         println!(
             "{:<12} {:>7} {:>9} {:>9} {:>11.3} {:>9} {:>7.0}%",
             mode.to_string(),
-            recording.logs.pi.len()
-                + recording.logs.cs.iter().map(|l| l.len()).sum::<usize>(),
+            recording.logs.pi.len() + recording.logs.cs.iter().map(|l| l.len()).sum::<usize>(),
             sizes.pi.raw_bits,
             sizes.cs.raw_bits,
             recording.compressed_bits_per_proc_per_kiloinst(),
@@ -46,13 +53,19 @@ fn main() {
 
     // Stratification (Section 4.3) applied post hoc to an OrderOnly
     // recording.
-    let machine = Machine::builder().mode(Mode::OrderOnly).procs(8).budget(budget).build();
+    let machine = Machine::builder()
+        .mode(Mode::OrderOnly)
+        .procs(8)
+        .budget(budget)
+        .build();
     let recording = machine.record(w, 99);
     let plain = recording.logs.pi.measure().raw_bits;
     println!("\nstratifying the OrderOnly PI log ({} plain bits):", plain);
     for max in [1u32, 3, 7] {
         let strat = recording.stratified_pi(max);
-        let report = machine.replay_stratified(&recording, max, 4242).expect("shape");
+        let report = machine
+            .replay_stratified(&recording, max, 4242)
+            .expect("shape");
         assert!(report.deterministic);
         println!(
             "  {max} chunk(s)/proc/stratum: {:>5} strata, {:>6} bits ({:>3.0}% of plain), replay ok",

@@ -23,7 +23,11 @@ fn main() {
     let recording = machine.record(workload, 2026);
 
     let sizes = recording.memory_ordering_sizes();
-    println!("recorded {} instructions on {} processors", recording.total_instructions(), 8);
+    println!(
+        "recorded {} instructions on {} processors",
+        recording.total_instructions(),
+        8
+    );
     println!(
         "  PI log: {} commits, {} bits ({} compressed)",
         recording.logs.pi.len(),
@@ -56,6 +60,13 @@ fn main() {
         recording.stats.cycles,
         recording.stats.cycles as f64 / report.stats.cycles as f64 * 100.0
     );
-    assert!(report.deterministic, "replay diverged: {:?}", report.divergence);
-    println!("final memory hash: {:#018x} (identical in both runs)", recording.digest().mem_hash);
+    assert!(
+        report.deterministic,
+        "replay diverged: {:?}",
+        report.divergence
+    );
+    println!(
+        "final memory hash: {:#018x} (identical in both runs)",
+        recording.digest().mem_hash
+    );
 }

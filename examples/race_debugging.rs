@@ -40,7 +40,10 @@ fn main() {
     }
     let unique: std::collections::HashSet<u64> =
         digests.iter().map(|(_, r)| r.digest().mem_hash).collect();
-    println!("  distinct outcomes: {} of 3 — the interleaving matters\n", unique.len());
+    println!(
+        "  distinct outcomes: {} of 3 — the interleaving matters\n",
+        unique.len()
+    );
 
     // Pick the first recording as "the buggy run" and replay it five
     // times under five different replay-machine timings: every replay
@@ -48,7 +51,9 @@ fn main() {
     let (machine, buggy_run) = &digests[0];
     println!("replaying the captured run under five different replay timings:");
     for replay_seed in [1000u64, 2000, 3000, 4000, 5000] {
-        let report = machine.replay_with_seed(buggy_run, replay_seed).expect("shape");
+        let report = machine
+            .replay_with_seed(buggy_run, replay_seed)
+            .expect("shape");
         println!(
             "  replay seed {replay_seed}: deterministic = {}, memory {:#018x}",
             report.deterministic, report.stats.digest.mem_hash

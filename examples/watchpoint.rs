@@ -15,7 +15,11 @@ use delorean_isa::workload;
 
 fn main() {
     // Capture a contended run once.
-    let machine = Machine::builder().mode(Mode::OrderOnly).procs(8).budget(30_000).build();
+    let machine = Machine::builder()
+        .mode(Mode::OrderOnly)
+        .procs(8)
+        .budget(30_000)
+        .build();
     let w = workload::by_name("raytrace").expect("catalog workload");
     let recording = machine.record(w, 1234);
     let map = AddressMap::new(8);

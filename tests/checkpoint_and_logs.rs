@@ -5,7 +5,11 @@ use delorean::{Machine, Mode, Recording};
 use delorean_isa::workload;
 
 fn record(mode: Mode, app: &str, budget: u64) -> (Machine, Recording) {
-    let m = Machine::builder().mode(mode).procs(8).budget(budget).build();
+    let m = Machine::builder()
+        .mode(mode)
+        .procs(8)
+        .budget(budget)
+        .build();
     let r = m.record(workload::by_name(app).unwrap(), 77);
     (m, r)
 }
@@ -20,7 +24,10 @@ fn order_only_pi_log_size_matches_formula() {
     // Roughly one entry per chunk_size instructions per processor:
     // 2 bits/proc/kiloinst raw at 2000-instruction chunks.
     let bits = pi.bits_per_proc_per_kiloinst(r.total_instructions(), 8);
-    assert!((1.5..3.2).contains(&bits), "raw PI = {bits} bits/proc/kinst");
+    assert!(
+        (1.5..3.2).contains(&bits),
+        "raw PI = {bits} bits/proc/kinst"
+    );
 }
 
 #[test]
@@ -29,7 +36,10 @@ fn picolog_memory_ordering_log_is_tiny() {
     let sizes = r.memory_ordering_sizes();
     assert_eq!(sizes.pi.raw_bits, 0, "PicoLog has no PI log");
     let total = r.compressed_bits_per_proc_per_kiloinst();
-    assert!(total < 0.5, "PicoLog log should be <0.5 bits/proc/kinst, got {total}");
+    assert!(
+        total < 0.5,
+        "PicoLog log should be <0.5 bits/proc/kinst, got {total}"
+    );
 }
 
 #[test]
@@ -41,7 +51,10 @@ fn mode_log_size_ordering_matches_table1() {
     let b_os = os.compressed_bits_per_proc_per_kiloinst();
     let b_oo = oo.compressed_bits_per_proc_per_kiloinst();
     let b_pl = pl.compressed_bits_per_proc_per_kiloinst();
-    assert!(b_os > b_oo, "Order&Size {b_os} should exceed OrderOnly {b_oo}");
+    assert!(
+        b_os > b_oo,
+        "Order&Size {b_os} should exceed OrderOnly {b_oo}"
+    );
     assert!(b_oo > b_pl, "OrderOnly {b_oo} should exceed PicoLog {b_pl}");
 }
 
@@ -70,7 +83,10 @@ fn larger_chunks_shrink_the_pi_log() {
                 .budget(18_000)
                 .build();
             let r = m.record(workload::by_name("fft").unwrap(), 5);
-            r.logs.pi.measure().bits_per_proc_per_kiloinst(r.total_instructions(), 8)
+            r.logs
+                .pi
+                .measure()
+                .bits_per_proc_per_kiloinst(r.total_instructions(), 8)
         })
         .collect();
     assert!(sizes[0] > sizes[1] && sizes[1] > sizes[2], "{sizes:?}");
@@ -95,7 +111,10 @@ fn gigabytes_per_day_is_consistent_with_bit_rate() {
     let gb = r.gigabytes_per_day(5.0, 1.0);
     // 1 bit/proc/kinst at 8 procs, 5 GHz, IPC 1 = 432 GB/day.
     let expected = bits * 432.0;
-    assert!((gb - expected).abs() < expected * 0.01 + 1e-9, "gb={gb} expected={expected}");
+    assert!(
+        (gb - expected).abs() < expected * 0.01 + 1e-9,
+        "gb={gb} expected={expected}"
+    );
 }
 
 #[test]
@@ -110,7 +129,11 @@ fn compression_never_inflates_logs() {
 
 #[test]
 fn input_logs_measure_consistently() {
-    let m = Machine::builder().mode(Mode::OrderOnly).procs(4).budget(12_000).build();
+    let m = Machine::builder()
+        .mode(Mode::OrderOnly)
+        .procs(4)
+        .budget(12_000)
+        .build();
     let r = m.record(workload::by_name("sjbb2k").unwrap(), 13);
     let io_bits: u64 = r.logs.io.iter().map(|l| l.measure().raw_bits).sum();
     let io_vals: usize = r.logs.io.iter().map(|l| l.len()).sum();

@@ -7,7 +7,11 @@ use delorean::{Machine, Mode};
 use delorean_isa::workload;
 
 fn machine(mode: Mode, procs: u32, budget: u64) -> Machine {
-    Machine::builder().mode(mode).procs(procs).budget(budget).build()
+    Machine::builder()
+        .mode(mode)
+        .procs(procs)
+        .budget(budget)
+        .build()
 }
 
 fn assert_replays(mode: Mode, app: &str, procs: u32, budget: u64, seed: u64) {

@@ -11,7 +11,11 @@ fn commercial_machine(mode: Mode) -> Machine {
         .mode(mode)
         .procs(4)
         .budget(15_000)
-        .devices(DeviceConfig { irq_period: 20_000, dma_period: 30_000, dma_words: 32 })
+        .devices(DeviceConfig {
+            irq_period: 20_000,
+            dma_period: 30_000,
+            dma_words: 32,
+        })
         .build()
 }
 
@@ -19,7 +23,10 @@ fn commercial_machine(mode: Mode) -> Machine {
 fn interrupts_are_recorded_and_replayed() {
     let m = commercial_machine(Mode::OrderOnly);
     let recording = m.record(workload::by_name("sjbb2k").unwrap(), 4);
-    assert!(recording.stats.interrupts > 0, "device config must generate interrupts");
+    assert!(
+        recording.stats.interrupts > 0,
+        "device config must generate interrupts"
+    );
     let logged: usize = recording.logs.interrupts.iter().map(|l| l.len()).sum();
     assert_eq!(logged as u64, recording.stats.interrupts);
     let report = m.replay(&recording).unwrap();
@@ -41,7 +48,10 @@ fn io_values_are_recorded_and_fed_back() {
 fn dma_transfers_are_recorded_and_reinjected() {
     let m = commercial_machine(Mode::OrderOnly);
     let recording = m.record(workload::by_name("sjbb2k").unwrap(), 21);
-    assert!(recording.stats.dma_commits > 0, "device config must generate DMA");
+    assert!(
+        recording.stats.dma_commits > 0,
+        "device config must generate DMA"
+    );
     assert_eq!(recording.logs.dma.len() as u64, recording.stats.dma_commits);
     // DMA entries appear in the PI log as the DMA pseudo-processor.
     let dma_pi = recording
@@ -62,7 +72,10 @@ fn picolog_records_dma_commit_slots() {
     let recording = m.record(workload::by_name("sjbb2k").unwrap(), 33);
     assert!(recording.stats.dma_commits > 0);
     assert!(recording.logs.pi.is_empty(), "PicoLog has no PI log");
-    assert!(recording.logs.dma.slot(0).is_some(), "commit slots recorded instead");
+    assert!(
+        recording.logs.dma.slot(0).is_some(),
+        "commit slots recorded instead"
+    );
     let report = m.replay(&recording).unwrap();
     assert!(report.deterministic, "{:?}", report.divergence);
 }
@@ -101,7 +114,11 @@ fn interrupt_heavy_run_replays_in_picolog() {
         .mode(Mode::PicoLog)
         .procs(4)
         .budget(12_000)
-        .devices(DeviceConfig { irq_period: 8_000, dma_period: 0, dma_words: 0 })
+        .devices(DeviceConfig {
+            irq_period: 8_000,
+            dma_period: 0,
+            dma_words: 0,
+        })
         .build();
     let recording = m.record(workload::by_name("barnes").unwrap(), 8);
     assert!(recording.stats.interrupts > 2);
@@ -111,7 +128,11 @@ fn interrupt_heavy_run_replays_in_picolog() {
 
 #[test]
 fn order_size_logs_every_chunk_size() {
-    let m = Machine::builder().mode(Mode::OrderSize).procs(2).budget(8_000).build();
+    let m = Machine::builder()
+        .mode(Mode::OrderSize)
+        .procs(2)
+        .budget(8_000)
+        .build();
     let recording = m.record(workload::by_name("fft").unwrap(), 6);
     // Every committed chunk has a CS entry in Order&Size.
     let total_chunks: u64 = recording.digest().committed_chunks.iter().sum();

@@ -7,7 +7,11 @@ use delorean::{serialize, Machine, Mode};
 use delorean_isa::workload;
 
 fn base_machine(mode: Mode) -> Machine {
-    Machine::builder().mode(mode).procs(4).budget(10_000).build()
+    Machine::builder()
+        .mode(mode)
+        .procs(4)
+        .budget(10_000)
+        .build()
 }
 
 #[test]
@@ -52,7 +56,12 @@ fn interval_starts_from_the_checkpointed_state() {
         assert_eq!(r, budget);
     }
     // Chunk counts continue from the checkpoint's counts.
-    for (done, total) in ck.state.chunks_done.iter().zip(&interval.digest().committed_chunks) {
+    for (done, total) in ck
+        .state
+        .chunks_done
+        .iter()
+        .zip(&interval.digest().committed_chunks)
+    {
         assert!(total >= done, "chunk counts must continue, not restart");
     }
 }
@@ -63,7 +72,9 @@ fn software_replayer_handles_interval_recordings() {
     let first = machine.record(workload::by_name("radiosity").unwrap(), 11);
     let ck = first.checkpoint_at(first.stats.total_commits / 2).unwrap();
     let interval = machine.record_interval(&ck, 6_000).unwrap();
-    let report = ReplayInspector::new(&interval).run_to_end().expect("consistent logs");
+    let report = ReplayInspector::new(&interval)
+        .run_to_end()
+        .expect("consistent logs");
     assert!(report.matches_recording, "{:?}", report.mismatch);
 }
 
@@ -105,7 +116,11 @@ fn interval_on_wrong_machine_shape_is_rejected() {
     let machine = base_machine(Mode::OrderOnly);
     let rec = machine.record(workload::by_name("lu").unwrap(), 2);
     let ck = rec.checkpoint_at(2).unwrap();
-    let other = Machine::builder().mode(Mode::OrderOnly).procs(8).budget(10_000).build();
+    let other = Machine::builder()
+        .mode(Mode::OrderOnly)
+        .procs(8)
+        .budget(10_000)
+        .build();
     assert!(other.record_interval(&ck, 1_000).is_err());
 }
 
@@ -123,7 +138,11 @@ fn chained_intervals_cover_a_long_run() {
     let third = machine.record_interval(&ck2, 6_000).unwrap();
     for (i, rec) in [&first, &second, &third].into_iter().enumerate() {
         let report = machine.replay(rec).expect("shape");
-        assert!(report.deterministic, "interval {i}: {:?}", report.divergence);
+        assert!(
+            report.deterministic,
+            "interval {i}: {:?}",
+            report.divergence
+        );
     }
     assert!(third.digest().retired[0] > second.digest().retired[0]);
     assert!(second.digest().retired[0] > first.digest().retired[0]);

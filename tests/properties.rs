@@ -11,12 +11,12 @@ use proptest::prelude::*;
 /// Random but valid workload specs.
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     (
-        0.2..0.5f64,              // mem_frac
-        0.1..0.6f64,              // shared_frac
-        0.1..0.7f64,              // write_frac
-        0.0..0.2f64,              // hot_frac
-        0.0..0.8f64,              // cross_frac
-        0.0..0.9f64,              // irregular
+        0.2..0.5f64,                          // mem_frac
+        0.1..0.6f64,                          // shared_frac
+        0.1..0.7f64,                          // write_frac
+        0.0..0.2f64,                          // hot_frac
+        0.0..0.8f64,                          // cross_frac
+        0.0..0.9f64,                          // irregular
         prop_oneof![Just(0u32), 200..800u32], // lock_every
         prop_oneof![Just(0u32), 2..6u32],     // barrier_every_iters
         prop_oneof![Just(0u32), 300..900u32], // io_every
@@ -24,7 +24,11 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
         .prop_map(
             |(mem, sh, wr, hot, cross, irr, lock, bar, io)| WorkloadSpec {
                 name: "prop",
-                kind: if io > 0 { WorkloadKind::Commercial } else { WorkloadKind::Splash },
+                kind: if io > 0 {
+                    WorkloadKind::Commercial
+                } else {
+                    WorkloadKind::Splash
+                },
                 mem_frac: mem,
                 shared_frac: sh,
                 write_frac: wr,
@@ -163,9 +167,8 @@ proptest! {
         let mut bytes = serialize::to_bytes(&rec);
         let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
         bytes[pos] ^= 0x40;
-        match serialize::from_bytes(&bytes) {
-            Ok(_) => prop_assert!(pos < 14, "flips past the frame header must be caught"),
-            Err(_) => {}
+        if serialize::from_bytes(&bytes).is_ok() {
+            prop_assert!(pos < 14, "flips past the frame header must be caught");
         }
     }
 

@@ -10,14 +10,24 @@ use delorean_isa::workload;
 #[test]
 fn engine_and_software_replayers_agree_on_every_workload() {
     for w in workload::catalog() {
-        let machine = Machine::builder().mode(Mode::OrderOnly).procs(4).budget(6_000).build();
+        let machine = Machine::builder()
+            .mode(Mode::OrderOnly)
+            .procs(4)
+            .budget(6_000)
+            .build();
         let recording = machine.record(w, 77);
         // Path 1: the event-driven timing engine.
         let engine = machine.replay(&recording).expect("shape");
-        assert!(engine.deterministic, "{}: engine replay diverged: {:?}", w.name, engine.divergence);
+        assert!(
+            engine.deterministic,
+            "{}: engine replay diverged: {:?}",
+            w.name, engine.divergence
+        );
         // Path 2: the serial software replayer (shares no code with
         // the engine).
-        let software = ReplayInspector::new(&recording).run_to_end().expect("consistent logs");
+        let software = ReplayInspector::new(&recording)
+            .run_to_end()
+            .expect("consistent logs");
         assert!(
             software.matches_recording,
             "{}: software replay diverged: {:?}",
@@ -35,14 +45,24 @@ fn serialized_recordings_replay_on_both_paths() {
         let restored = serialize::from_bytes(&bytes).expect("round trip");
         let engine = machine.replay(&restored).expect("shape");
         assert!(engine.deterministic, "{mode}: {:?}", engine.divergence);
-        let software = ReplayInspector::new(&restored).run_to_end().expect("consistent");
-        assert!(software.matches_recording, "{mode}: {:?}", software.mismatch);
+        let software = ReplayInspector::new(&restored)
+            .run_to_end()
+            .expect("consistent");
+        assert!(
+            software.matches_recording,
+            "{mode}: {:?}",
+            software.mismatch
+        );
     }
 }
 
 #[test]
 fn inspector_commit_stream_matches_pi_log() {
-    let machine = Machine::builder().mode(Mode::OrderOnly).procs(4).budget(6_000).build();
+    let machine = Machine::builder()
+        .mode(Mode::OrderOnly)
+        .procs(4)
+        .budget(6_000)
+        .build();
     let recording = machine.record(workload::by_name("cholesky").unwrap(), 9);
     let mut inspector = ReplayInspector::new(&recording);
     let mut committers = Vec::new();
@@ -50,12 +70,19 @@ fn inspector_commit_stream_matches_pi_log() {
         committers.push(ev.committer);
     }
     let logged: Vec<Committer> = recording.logs.pi.iter().collect();
-    assert_eq!(committers, logged, "inspector must follow the PI order exactly");
+    assert_eq!(
+        committers, logged,
+        "inspector must follow the PI order exactly"
+    );
 }
 
 #[test]
 fn inspector_sizes_sum_to_the_budget() {
-    let machine = Machine::builder().mode(Mode::PicoLog).procs(4).budget(6_000).build();
+    let machine = Machine::builder()
+        .mode(Mode::PicoLog)
+        .procs(4)
+        .budget(6_000)
+        .build();
     let recording = machine.record(workload::by_name("water-ns").unwrap(), 3);
     let mut inspector = ReplayInspector::new(&recording);
     let mut per_core = [0u64; 4];
@@ -73,7 +100,11 @@ fn watchpoints_see_dma_writes() {
         .mode(Mode::OrderOnly)
         .procs(2)
         .budget(10_000)
-        .devices(delorean_chunk::DeviceConfig { irq_period: 0, dma_period: 8_000, dma_words: 8 })
+        .devices(delorean_chunk::DeviceConfig {
+            irq_period: 0,
+            dma_period: 8_000,
+            dma_words: 8,
+        })
         .build();
     let recording = machine.record(workload::by_name("sjbb2k").unwrap(), 21);
     assert!(recording.stats.dma_commits > 0, "need DMA for this test");
@@ -89,5 +120,8 @@ fn watchpoints_see_dma_writes() {
             dma_hits += ev.watch_hits.len();
         }
     }
-    assert!(dma_hits > 0, "DMA writes to watched words must be attributed to DMA commits");
+    assert!(
+        dma_hits > 0,
+        "DMA writes to watched words must be attributed to DMA commits"
+    );
 }

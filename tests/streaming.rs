@@ -1,0 +1,148 @@
+//! End-to-end tests for the streaming record/replay pipeline: the
+//! `FileSink`/`FileSource` path must be byte- and digest-identical to
+//! the in-memory `Recording` path, and its peak buffering must be
+//! bounded by the flush granularity, not the run length.
+
+use delorean::{serialize, FileSink, FileSource, Machine, Mode};
+use delorean_isa::workload;
+use proptest::prelude::*;
+
+const MODES: [Mode; 3] = [Mode::OrderSize, Mode::OrderOnly, Mode::PicoLog];
+
+fn machine(mode: Mode, procs: u32, budget: u64) -> Machine {
+    Machine::builder()
+        .mode(mode)
+        .procs(procs)
+        .budget(budget)
+        .build()
+}
+
+/// Records `workload` twice — once into an in-memory `Recording`, once
+/// streamed through a `FileSink` — and returns both serializations.
+fn record_both(m: &Machine, name: &str, seed: u64) -> (Vec<u8>, Vec<u8>) {
+    let w = workload::by_name(name).expect("catalog workload");
+    let recording = m.record(w, seed);
+    let in_memory = serialize::to_bytes(&recording);
+    let mut sink = FileSink::new(Vec::new());
+    m.record_to(w, seed, &mut sink);
+    let streamed = sink.into_inner().expect("writing to a Vec cannot fail");
+    (in_memory, streamed)
+}
+
+/// Acceptance: for every catalog workload and every mode, recording
+/// through a `FileSink` and replaying from a `FileSource` yields the
+/// same state digest as the in-memory record/replay path.
+#[test]
+fn catalog_streams_replay_to_identical_digests() {
+    for w in workload::catalog() {
+        for mode in MODES {
+            let m = machine(mode, 4, 12_000);
+            let (in_memory, streamed) = record_both(&m, w.name, 2026);
+            assert_eq!(
+                in_memory, streamed,
+                "{} / {mode}: FileSink bytes differ from serialized Recording",
+                w.name
+            );
+
+            let recording = serialize::from_bytes(&in_memory).expect("round trip");
+            let mem_report = m.replay(&recording).expect("in-memory replay");
+            let source = FileSource::open(&streamed[..]).expect("open stream");
+            let stream_report = m.replay_from(source).expect("streamed replay");
+
+            assert!(
+                mem_report.deterministic,
+                "{} / {mode}: in-memory replay diverged",
+                w.name
+            );
+            assert!(
+                stream_report.deterministic,
+                "{} / {mode}: streamed replay diverged",
+                w.name
+            );
+            assert_eq!(
+                stream_report.stats.digest, mem_report.stats.digest,
+                "{} / {mode}: streamed replay digest differs",
+                w.name
+            );
+            assert_eq!(stream_report.stats.digest, recording.stats.digest);
+        }
+    }
+}
+
+/// Acceptance: peak sink buffering tracks the flush granularity.
+/// Quadrupling the run length must not quadruple the peak; it stays at
+/// the size of one flush batch.
+#[test]
+fn peak_buffering_is_bounded_by_flush_size_not_run_length() {
+    let w = workload::by_name("ocean").expect("catalog workload");
+    let mut peaks = Vec::new();
+    let mut commits = Vec::new();
+    for budget in [10_000u64, 40_000] {
+        let m = machine(Mode::OrderOnly, 4, budget);
+        let mut sink = FileSink::with_flush_every(Vec::new(), 8);
+        let stats = m.record_to(w, 7, &mut sink);
+        commits.push(stats.total_commits);
+        peaks.push(sink.peak_buffered_bytes());
+    }
+    assert!(
+        commits[1] >= 3 * commits[0],
+        "long run should commit ~4x as many chunks ({commits:?})"
+    );
+    // The peak is one 8-event batch in both runs; allow 2x slack for
+    // variation in per-event footprint sizes.
+    assert!(
+        peaks[1] <= 2 * peaks[0].max(1),
+        "peak buffering scaled with run length: {peaks:?}"
+    );
+}
+
+/// A `FileSource` answers replay queries without materializing the
+/// whole log: after the first grant query it holds at most a few
+/// segments' worth of entries, not the full run.
+#[test]
+fn file_source_buffers_a_bounded_window() {
+    let w = workload::by_name("radix").expect("catalog workload");
+    let m = machine(Mode::OrderOnly, 4, 40_000);
+    let mut sink = FileSink::with_flush_every(Vec::new(), 8);
+    let stats = m.record_to(w, 7, &mut sink);
+    let bytes = sink.into_inner().expect("writing to a Vec cannot fail");
+
+    use delorean::LogSource;
+    let mut source = FileSource::open(&bytes[..]).expect("open stream");
+    source.pi_peek();
+    let buffered = source.buffered_entries();
+    assert!(
+        (buffered as u64) < stats.total_commits,
+        "first query pulled the whole log: {buffered} entries buffered of {}",
+        stats.total_commits
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Satellite: across random workloads, shapes and modes, the
+    /// MemorySink and FileSink paths produce byte-identical `.dlrn`
+    /// output and identical replay digests.
+    #[test]
+    fn sink_paths_agree(
+        widx in 0usize..13,
+        mode_sel in 0u8..3,
+        procs in 2u32..6,
+        budget in 6_000u64..16_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let w = workload::catalog()[widx];
+        let m = machine(MODES[mode_sel as usize], procs, budget);
+        let (in_memory, streamed) = record_both(&m, w.name, seed);
+        prop_assert_eq!(&in_memory, &streamed);
+
+        let recording = serialize::from_bytes(&in_memory).expect("round trip");
+        let mem_report = m.replay(&recording).expect("in-memory replay");
+        let source = FileSource::open(&streamed[..]).expect("open stream");
+        let stream_report = m.replay_from(source).expect("streamed replay");
+        prop_assert!(mem_report.deterministic);
+        prop_assert!(stream_report.deterministic);
+        prop_assert_eq!(stream_report.stats.digest, mem_report.stats.digest);
+    }
+}
