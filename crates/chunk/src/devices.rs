@@ -82,6 +82,9 @@ impl DeviceBank {
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
 
     fn bank(cfg: DeviceConfig) -> DeviceBank {

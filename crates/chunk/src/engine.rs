@@ -832,11 +832,9 @@ impl<'h> Engine<'h> {
             // original attempt leaves trailing *empty* chunks; they have
             // nothing to commit (and a replay would never create them),
             // so drop them and return any attached interrupts.
-            while chunks
-                .last()
-                .is_some_and(|ch| ch.size == 0 && ch.reason == TruncationReason::BudgetEnd)
+            while let Some(ch) =
+                chunks.pop_if(|ch| ch.size == 0 && ch.reason == TruncationReason::BudgetEnd)
             {
-                let ch = chunks.pop().expect("checked non-empty");
                 *chunks_started -= 1;
                 scheduled.retain(|&(_, a)| a != ch.incarnation);
                 if let Some(irq) = ch.irq {

@@ -42,6 +42,9 @@ pub fn round_robin(ctx: &ArbiterContext<'_>, cursor: u32) -> Option<Committer> {
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use crate::hooks::PendingView;
 

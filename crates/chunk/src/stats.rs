@@ -153,6 +153,9 @@ impl RunStats {
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
 
     #[test]

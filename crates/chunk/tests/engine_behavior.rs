@@ -1,6 +1,9 @@
 //! Behavioural tests of the chunk engine: atomicity, squash behaviour,
 //! truncation events, commit policies and stall accounting.
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use delorean_chunk::{run, BulkScHooks, Committer, EngineConfig, ExecutionHooks};
 use delorean_isa::workload::{self, WorkloadSpec};
 use delorean_isa::{AluOp, Inst, Program, ProgramBuilder, Reg};

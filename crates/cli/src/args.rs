@@ -6,15 +6,22 @@ pub struct Args {
     /// Non-flag arguments, in order.
     pub positional: Vec<String>,
     flags: Vec<(String, String)>,
+    switches: Vec<String>,
 }
 
 impl Args {
-    /// Splits `argv` into positionals and `--flag value` pairs.
-    pub fn parse(argv: &[String]) -> Result<Self, String> {
+    /// Splits `argv` into positionals and `--flag value` pairs; flags
+    /// listed in `switches` are boolean — they consume no value and
+    /// are queried with [`Args::has`].
+    pub fn parse_with_switches(argv: &[String], switches: &[&str]) -> Result<Self, String> {
         let mut args = Args::default();
         let mut it = argv.iter();
         while let Some(a) = it.next() {
             if a.starts_with('-') && a.len() > 1 {
+                if switches.contains(&a.as_str()) {
+                    args.switches.push(a.clone());
+                    continue;
+                }
                 let value = it
                     .next()
                     .ok_or_else(|| format!("flag {a} needs a value"))?
@@ -25,6 +32,11 @@ impl Args {
             }
         }
         Ok(args)
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.switches.iter().any(|f| f == flag)
     }
 
     /// Last value of `flag`, if present.
@@ -62,7 +74,8 @@ mod tests {
     use super::*;
 
     fn parse(s: &[&str]) -> Args {
-        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+        Args::parse_with_switches(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>(), &[])
+            .unwrap()
     }
 
     #[test]
@@ -75,9 +88,22 @@ mod tests {
     }
 
     #[test]
+    fn switches_take_no_value() {
+        let argv: Vec<String> = ["run.dlrn", "--json", "--skip", "static"]
+            .iter()
+            .map(|x| x.to_string())
+            .collect();
+        let a = Args::parse_with_switches(&argv, &["--json"]).unwrap();
+        assert!(a.has("--json"));
+        assert!(!a.has("--quiet"));
+        assert_eq!(a.positional, vec!["run.dlrn"]);
+        assert_eq!(a.get("--skip"), Some("static".to_string()));
+    }
+
+    #[test]
     fn dangling_flag_is_an_error() {
         let argv = vec!["--seed".to_string()];
-        assert!(Args::parse(&argv).is_err());
+        assert!(Args::parse_with_switches(&argv, &[]).is_err());
     }
 
     #[test]

@@ -26,7 +26,7 @@ use args::Args;
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -43,19 +43,21 @@ usage:
                   [--procs N] [--budget N] [--chunk N] [--seed N] [--timing-seed N]
   delorean info <file>
   delorean replay <file> [--seed N] [--stratified MAX]
-  delorean inspect <file> [--watch ADDR]... [--limit N]";
+  delorean inspect <file> [--watch ADDR]... [--limit N]
+  delorean analyze <file> [--json] [--skip static|races|lint]... [--max-examples N]";
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = argv.first() else {
         return Err("missing command".to_string());
     };
-    let args = Args::parse(&argv[1..])?;
+    let args = Args::parse_with_switches(&argv[1..], &["--json"])?;
     match cmd.as_str() {
-        "list" => cmd_list(),
-        "record" => cmd_record(&args),
-        "info" => cmd_info(&args),
-        "replay" => cmd_replay(&args),
-        "inspect" => cmd_inspect(&args),
+        "list" => cmd_list().map(|()| ExitCode::SUCCESS),
+        "record" => cmd_record(&args).map(|()| ExitCode::SUCCESS),
+        "info" => cmd_info(&args).map(|()| ExitCode::SUCCESS),
+        "replay" => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
+        "inspect" => cmd_inspect(&args).map(|()| ExitCode::SUCCESS),
+        "analyze" => cmd_analyze(&args),
         other => Err(format!("unknown command {other}")),
     }
 }
@@ -300,6 +302,85 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
         report.commits, report.matches_recording
     );
     Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
+    let path = recording_path(args)?.clone();
+    let skip = args.get_all("--skip");
+    let skip = |pass: &str| skip.iter().any(|s| s == pass);
+    let max_examples = args.num("--max-examples")?.map(|n| n as usize);
+
+    // Pass 3 first: the lint works on the raw byte stream and cannot
+    // itself fail, so a corrupt file still yields a report.
+    let lint = if skip("lint") {
+        None
+    } else {
+        let file = File::open(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        Some(delorean_analyze::lint_stream(BufReader::new(file)))
+    };
+
+    // The replay-based passes need decodable metadata; without it they
+    // are skipped (the lint above already carries the decode error).
+    let report = match open_source(&path) {
+        Err(_) => delorean_analyze::AnalysisReport {
+            workload: "unknown".to_string(),
+            mode: "unknown".to_string(),
+            n_procs: 0,
+            static_pass: None,
+            races: None,
+            lint,
+        },
+        Ok(source) => {
+            let meta = source
+                .meta()
+                .ok_or("stream carries no recording metadata")?
+                .clone();
+            let static_pass = if skip("static") {
+                None
+            } else {
+                let mut opts = delorean_analyze::StaticOptions::default();
+                if let Some(n) = max_examples {
+                    opts.max_examples = n;
+                }
+                Some(delorean_analyze::analyze_workload(
+                    &meta.workload,
+                    meta.n_procs,
+                    meta.app_seed,
+                    &opts,
+                ))
+            };
+            let races = if skip("races") {
+                None
+            } else {
+                let mut opts = delorean_analyze::RaceOptions::default();
+                if let Some(n) = max_examples {
+                    opts.max_examples = n;
+                }
+                Some(match delorean_analyze::detect_races(source, &opts) {
+                    Ok(r) => r,
+                    Err(e) => delorean_analyze::RaceReport::failed(&e),
+                })
+            };
+            delorean_analyze::AnalysisReport {
+                workload: meta.workload.name.to_string(),
+                mode: meta.mode.to_string(),
+                n_procs: meta.n_procs,
+                static_pass,
+                races,
+                lint,
+            }
+        }
+    };
+    if args.has("--json") {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    if report.error_count() > 0 {
+        Ok(ExitCode::FAILURE)
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
 }
 
 fn parse_addr(s: &str) -> Result<u64, String> {

@@ -125,6 +125,9 @@ impl IntervalCheckpoint {
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use delorean_isa::workload;
 

@@ -63,6 +63,9 @@ impl std::error::Error for ReplayError {}
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
 
     #[test]

@@ -73,6 +73,13 @@ pub struct CommitEvent {
     pub interrupt: bool,
     /// Writes to watched addresses whose value changed.
     pub watch_hits: Vec<WatchHit>,
+    /// Cache lines the chunk read, sorted (only populated when
+    /// [`ReplayInspector::collect_footprints`] is enabled; empty for
+    /// DMA commits).
+    pub read_lines: Vec<u64>,
+    /// Cache lines the chunk (or DMA transfer) wrote, sorted (only
+    /// populated when footprint collection is enabled).
+    pub write_lines: Vec<u64>,
 }
 
 /// Why inspection failed.
@@ -80,11 +87,28 @@ pub struct CommitEvent {
 pub struct InspectError {
     /// Human-readable description.
     pub detail: String,
+    /// Global commit index (1-based) of the commit being replayed when
+    /// the failure was detected, when known. Streaming decode failures
+    /// additionally carry their own segment/byte position inside
+    /// `detail`.
+    pub commit: Option<u64>,
+}
+
+impl InspectError {
+    fn at(commit: u64, detail: String) -> Self {
+        Self {
+            detail,
+            commit: Some(commit),
+        }
+    }
 }
 
 impl core::fmt::Display for InspectError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "inspection failed: {}", self.detail)
+        match self.commit {
+            Some(c) => write!(f, "inspection failed at commit {c}: {}", self.detail),
+            None => write!(f, "inspection failed: {}", self.detail),
+        }
     }
 }
 
@@ -103,20 +127,34 @@ pub struct InspectReport {
     pub mismatch: Option<String>,
 }
 
-/// Memory wrapper that tracks watched addresses during one chunk.
+fn sorted(set: HashSet<u64>) -> Vec<u64> {
+    let mut v: Vec<u64> = set.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Memory wrapper that tracks watched addresses (and, optionally, the
+/// chunk's read/write line footprint) during one chunk.
 struct WatchMem<'a> {
     mem: &'a mut Memory,
     watches: &'a HashSet<Addr>,
     hits: Vec<(Addr, Word)>, // (addr, old) for first write in this chunk
+    footprints: Option<&'a mut (HashSet<u64>, HashSet<u64>)>, // (read, write) lines
 }
 
 impl DataMemory for WatchMem<'_> {
     fn load(&mut self, addr: Addr) -> Word {
+        if let Some(fp) = self.footprints.as_deref_mut() {
+            fp.0.insert(delorean_mem::line_of(addr));
+        }
         self.mem.load(addr)
     }
     fn store(&mut self, addr: Addr, value: Word) {
         if self.watches.contains(&addr) && !self.hits.iter().any(|&(a, _)| a == addr) {
             self.hits.push((addr, self.mem.peek(addr)));
+        }
+        if let Some(fp) = self.footprints.as_deref_mut() {
+            fp.1.insert(delorean_mem::line_of(addr));
         }
         self.mem.store(addr, value);
     }
@@ -161,6 +199,7 @@ pub struct ReplayInspector<S: LogSource> {
     rr_cursor: u32,
     gcc: u64,
     watches: HashSet<Addr>,
+    collect_footprints: bool,
     done: bool,
 }
 
@@ -169,6 +208,9 @@ impl<'r> ReplayInspector<MemorySource<'r>> {
     /// checkpoint (the initial state, or the interval checkpoint for
     /// recordings made with
     /// [`Machine::record_interval`](crate::Machine::record_interval)).
+    // Infallible: `MemorySource::of_recording` synthesizes its meta
+    // from the recording itself, so `from_source` cannot reject it.
+    #[allow(clippy::expect_used)]
     pub fn new(recording: &'r Recording) -> Self {
         Self::from_source(MemorySource::of_recording(recording))
             .expect("a recording always carries its metadata")
@@ -188,6 +230,7 @@ impl<S: LogSource> ReplayInspector<S> {
         let Some(meta) = source.meta() else {
             return Err(InspectError {
                 detail: "log source carries no recording metadata".to_string(),
+                commit: None,
             });
         };
         let mode = meta.mode;
@@ -225,8 +268,17 @@ impl<S: LogSource> ReplayInspector<S> {
             rr_cursor: 0,
             gcc: 0,
             watches: HashSet::new(),
+            collect_footprints: false,
             done: false,
         })
+    }
+
+    /// Enables (or disables) per-commit read/write line footprint
+    /// collection; subsequent [`CommitEvent`]s carry the sorted cache
+    /// lines the chunk touched. Off by default — collection costs one
+    /// hash-set insert per memory access.
+    pub fn collect_footprints(&mut self, enable: bool) {
+        self.collect_footprints = enable;
     }
 
     /// Captures the full architectural state at the current replay
@@ -302,17 +354,26 @@ impl<S: LogSource> ReplayInspector<S> {
             return Ok(None);
         }
         let Some(committer) = self.next_committer() else {
+            // Distinguish a cleanly consumed log from a stream that
+            // died mid-decode: a corrupt segment must surface as an
+            // error carrying the commit index reached, not as a silent
+            // end of the recording.
+            if let Some(e) = self.source.error() {
+                return Err(InspectError::at(
+                    self.gcc,
+                    format!("log stream failed: {e}"),
+                ));
+            }
             self.done = true;
             return Ok(None);
         };
         match committer {
             Committer::Dma => {
                 let Some(data) = self.source.dma_next() else {
-                    return Err(InspectError {
-                        detail: "DMA log exhausted".to_string(),
-                    });
+                    return Err(InspectError::at(self.gcc + 1, "DMA log exhausted".into()));
                 };
                 let mut hits = Vec::new();
+                let mut write_lines = HashSet::new();
                 for &(addr, value) in &data {
                     if self.watches.contains(&addr) {
                         let old = self.memory.peek(addr);
@@ -323,6 +384,9 @@ impl<S: LogSource> ReplayInspector<S> {
                                 new: value,
                             });
                         }
+                    }
+                    if self.collect_footprints {
+                        write_lines.insert(delorean_mem::line_of(addr));
                     }
                     self.memory.store(addr, value);
                 }
@@ -335,6 +399,8 @@ impl<S: LogSource> ReplayInspector<S> {
                     size: 0,
                     interrupt: false,
                     watch_hits: hits,
+                    read_lines: Vec::new(),
+                    write_lines: sorted(write_lines),
                 }))
             }
             Committer::Proc(p) => {
@@ -353,9 +419,10 @@ impl<S: LogSource> ReplayInspector<S> {
     fn execute_chunk(&mut self, p: u32) -> Result<CommitEvent, InspectError> {
         let pi = p as usize;
         if self.finished(pi) {
-            return Err(InspectError {
-                detail: format!("commit order names processor {p} after it retired its budget"),
-            });
+            return Err(InspectError::at(
+                self.gcc + 1,
+                format!("commit order names processor {p} after it retired its budget"),
+            ));
         }
         let index = self.chunks_done[pi] + 1;
         let budget = self.budget;
@@ -365,9 +432,10 @@ impl<S: LogSource> ReplayInspector<S> {
         let program = &self.programs[pi];
         if let Some((_vector, payload)) = interrupt {
             if vm.in_handler() {
-                return Err(InspectError {
-                    detail: format!("interrupt log targets chunk {index} inside a handler"),
-                });
+                return Err(InspectError::at(
+                    self.gcc + 1,
+                    format!("interrupt log targets chunk {index} inside a handler"),
+                ));
             }
             vm.deliver_interrupt(program, payload);
         }
@@ -378,10 +446,15 @@ impl<S: LogSource> ReplayInspector<S> {
             seq: 0,
             missing: false,
         };
+        let mut footprints = self
+            .collect_footprints
+            .then(HashSet::new)
+            .map(|r| (r, HashSet::new()));
         let mut mem = WatchMem {
             mem: &mut self.memory,
             watches: &self.watches,
             hits: Vec::new(),
+            footprints: footprints.as_mut(),
         };
         let mut size = 0u32;
         loop {
@@ -402,9 +475,10 @@ impl<S: LogSource> ReplayInspector<S> {
             }
         }
         if io.missing {
-            return Err(InspectError {
-                detail: format!("I/O log has no value for processor {p}, chunk {index}"),
-            });
+            return Err(InspectError::at(
+                self.gcc + 1,
+                format!("I/O log has no value for processor {p}, chunk {index}"),
+            ));
         }
         let hits = std::mem::take(&mut mem.hits);
         drop(mem);
@@ -417,6 +491,10 @@ impl<S: LogSource> ReplayInspector<S> {
             })
             .filter(|h| h.old != h.new)
             .collect();
+        let (read_lines, write_lines) = match footprints {
+            Some((r, w)) => (sorted(r), sorted(w)),
+            None => (Vec::new(), Vec::new()),
+        };
         self.chunks_done[pi] = index;
         self.gcc += 1;
         Ok(CommitEvent {
@@ -426,6 +504,8 @@ impl<S: LogSource> ReplayInspector<S> {
             size,
             interrupt: interrupt.is_some(),
             watch_hits,
+            read_lines,
+            write_lines,
         })
     }
 
@@ -441,10 +521,10 @@ impl<S: LogSource> ReplayInspector<S> {
         while let Some(ev) = self.step()? {
             commits = ev.gcc;
         }
-        let trailer = self
-            .source
-            .finish()
-            .map_err(|detail| InspectError { detail })?;
+        let trailer = self.source.finish().map_err(|detail| InspectError {
+            detail,
+            commit: Some(commits),
+        })?;
         let digest = &trailer.stats.digest;
         let mut mismatch = None;
         if self.memory.content_hash() != digest.mem_hash {
@@ -472,6 +552,9 @@ impl<S: LogSource> ReplayInspector<S> {
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use crate::Machine;
     use delorean_isa::workload;

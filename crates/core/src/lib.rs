@@ -64,7 +64,10 @@ pub use machine::{Machine, MachineBuilder, Recording, ReplayReport};
 pub use mode::Mode;
 pub use recorder::Recorder;
 pub use replayer::Replayer;
-pub use stream::{FileSink, FileSource, LogSink, LogSource, MemorySink, MemorySource};
+pub use stream::{
+    EventSegment, FileSink, FileSource, LogSink, LogSource, MemorySink, MemorySource,
+    PositionedDecodeError, SegmentWalker, StreamPosition, WalkedSegment,
+};
 
 // Re-export the substrate types users need at the API boundary.
 pub use delorean_chunk::{RunStats, StateDigest};

@@ -248,6 +248,9 @@ impl Machine {
     }
 
     /// Records one execution of `workload` seeded by `app_seed`.
+    // Infallible: `record_to` always drives the sink through begin,
+    // events and trailer, after which `into_recording` is `Some`.
+    #[allow(clippy::expect_used)]
     pub fn record(&self, workload: &WorkloadSpec, app_seed: u64) -> Recording {
         let mut sink = MemorySink::new();
         self.record_to(workload, app_seed, &mut sink);
@@ -300,6 +303,10 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if `extra_budget` is zero.
+    // Infallible: a successful `record_interval_to` drives the sink
+    // through begin, events and trailer, after which `into_recording`
+    // is `Some`.
+    #[allow(clippy::expect_used)]
     pub fn record_interval(
         &self,
         ck: &IntervalCheckpoint,
@@ -692,6 +699,9 @@ impl MachineBuilder {
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use delorean_isa::workload;
 

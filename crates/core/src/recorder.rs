@@ -88,6 +88,9 @@ impl ExecutionHooks for Recorder {
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use delorean_chunk::TruncationReason;
 

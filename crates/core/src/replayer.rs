@@ -232,6 +232,9 @@ impl<S: LogSource> ExecutionHooks for Replayer<S> {
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use crate::recorder::Recorder;
     use delorean_chunk::TruncationReason;

@@ -61,6 +61,9 @@ impl core::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Serializes a recording to the versioned binary format.
+// Infallible: the sink writes into a `Vec<u8>`, whose `Write` impl
+// never returns an error, so the sink never latches one.
+#[allow(clippy::expect_used)]
 pub fn to_bytes(recording: &Recording) -> Vec<u8> {
     let mut sink = FileSink::new(Vec::new());
     stream::copy_recording(recording, &mut sink);
@@ -80,6 +83,9 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Recording, DecodeError> {
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use crate::{Machine, Mode};
     use delorean_isa::workload;

@@ -155,6 +155,9 @@ impl Stratifier {
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
 
     #[test]

@@ -51,6 +51,47 @@ use std::io::{self, Read};
 /// a compressed segment.
 pub const DEFAULT_FLUSH_EVERY: usize = 64;
 
+/// Where in a `.dlrn` stream the decoder currently is — attached to
+/// streaming errors so corruption reports carry a position instead of
+/// just a field name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamPosition {
+    /// Bytes consumed from the underlying reader.
+    pub byte_offset: u64,
+    /// Event segments fully decoded so far (0-based index of the
+    /// segment being decoded when attached to an error).
+    pub segment: u64,
+    /// Global commits decoded so far.
+    pub commit: u64,
+}
+
+impl core::fmt::Display for StreamPosition {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "segment {}, commit {}, byte offset {}",
+            self.segment, self.commit, self.byte_offset
+        )
+    }
+}
+
+/// A [`DecodeError`] plus the stream position it was detected at.
+#[derive(Debug, Clone)]
+pub struct PositionedDecodeError {
+    /// The underlying decode failure.
+    pub error: DecodeError,
+    /// Where in the stream it was detected.
+    pub position: StreamPosition,
+}
+
+impl core::fmt::Display for PositionedDecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} (at {})", self.error, self.position)
+    }
+}
+
+impl std::error::Error for PositionedDecodeError {}
+
 const TAG_DMA: u8 = 1 << 0;
 const TAG_CS: u8 = 1 << 1;
 const TAG_IRQ: u8 = 1 << 2;
@@ -806,12 +847,12 @@ impl<W: io::Write> FileSink<W> {
     ///
     /// Returns the latched [`io::Error`] if any write failed.
     pub fn into_inner(mut self) -> io::Result<W> {
-        match self.error.take() {
-            Some(e) => Err(e),
-            None => Ok(self
-                .out
-                .take()
-                .expect("writer present unless an error was latched")),
+        match (self.error.take(), self.out.take()) {
+            (Some(e), _) => Err(e),
+            (None, Some(w)) => Ok(w),
+            // Unreachable: the writer is only dropped when an error is
+            // latched, but a `None` here must not panic a log sink.
+            (None, None) => Err(io::Error::other("log writer already taken")),
         }
     }
 
@@ -819,10 +860,9 @@ impl<W: io::Write> FileSink<W> {
         if self.error.is_some() {
             return;
         }
-        let out = self
-            .out
-            .as_mut()
-            .expect("writer present unless an error was latched");
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
         if let Err(e) = out.write_all(bytes) {
             self.error = Some(e);
         } else {
@@ -899,12 +939,10 @@ impl<W: io::Write> LogSink for FileSink<W> {
         let body = encode_trailer(trailer);
         self.emit_segment(SEG_TRAILER, &body);
         if self.error.is_none() {
-            let out = self
-                .out
-                .as_mut()
-                .expect("writer present unless an error was latched");
-            if let Err(e) = out.flush() {
-                self.error = Some(e);
+            if let Some(out) = self.out.as_mut() {
+                if let Err(e) = out.flush() {
+                    self.error = Some(e);
+                }
             }
         }
     }
@@ -1185,8 +1223,23 @@ impl LogSource for MemorySource<'_> {
 /// that chunk's `(port, value)` loads.
 type IoQueue = VecDeque<(u64, Vec<(u16, Word)>)>;
 
+/// The decoded payload of one event segment, including the watermarks
+/// the segment header declares (used by lint passes to cross-check
+/// counter monotonicity).
+#[derive(Debug, Clone)]
+pub struct EventSegment {
+    /// The commit events, in global commit order.
+    pub events: Vec<LogEvent>,
+    /// Global commit count after the segment's last event, as declared
+    /// by the segment header.
+    pub commit_watermark: u64,
+    /// Per-processor committed-chunk counters after the segment's last
+    /// event, as declared by the segment header.
+    pub chunk_watermarks: Vec<u64>,
+}
+
 enum Segment {
-    Events(Vec<LogEvent>),
+    Events(EventSegment),
     Trailer(Box<StreamTrailer>),
     End,
 }
@@ -1223,20 +1276,30 @@ struct SegmentDecoder<R: Read> {
     lz: delorean_compress::lz77::Decoder,
     seen_trailer: bool,
     done: bool,
+    byte_offset: u64,
+    segments: u64,
+}
+
+/// Decodes a little-endian integer from the first `N` bytes of `b`.
+/// Callers always pass slices of at least `N` bytes (fixed-size headers).
+fn le_bytes<const N: usize>(b: &[u8]) -> [u8; N] {
+    let mut a = [0u8; N];
+    a.copy_from_slice(&b[..N]);
+    a
 }
 
 impl<R: Read> SegmentDecoder<R> {
     fn open(mut reader: R) -> Result<Self, DecodeError> {
         let mut head = [0u8; 14];
         read_exact_or(&mut reader, &mut head, "file header")?;
-        if u32::from_le_bytes(head[0..4].try_into().expect("slice of 4")) != MAGIC {
+        if u32::from_le_bytes(le_bytes(&head[0..4])) != MAGIC {
             return Err(DecodeError::BadMagic);
         }
-        let version = u16::from_le_bytes(head[4..6].try_into().expect("slice of 2"));
+        let version = u16::from_le_bytes(le_bytes(&head[4..6]));
         if version != VERSION {
             return Err(DecodeError::BadVersion(version));
         }
-        let checksum = u64::from_le_bytes(head[6..14].try_into().expect("slice of 8"));
+        let checksum = u64::from_le_bytes(le_bytes(&head[6..14]));
         let mut len_bytes = [0u8; 8];
         read_exact_or(&mut reader, &mut len_bytes, "metadata length")?;
         let meta_len = u64::from_le_bytes(len_bytes);
@@ -1257,10 +1320,31 @@ impl<R: Read> SegmentDecoder<R> {
             lz: delorean_compress::lz77::Decoder::new(),
             seen_trailer: false,
             done: false,
+            byte_offset: 14 + 8 + meta_len,
+            segments: 0,
         })
     }
 
-    fn next(&mut self) -> Result<Segment, DecodeError> {
+    fn position(&self) -> StreamPosition {
+        StreamPosition {
+            byte_offset: self.byte_offset,
+            segment: self.segments,
+            commit: self.gcc,
+        }
+    }
+
+    fn positioned(&self, error: DecodeError) -> PositionedDecodeError {
+        PositionedDecodeError {
+            error,
+            position: self.position(),
+        }
+    }
+
+    fn next(&mut self) -> Result<Segment, PositionedDecodeError> {
+        self.next_inner().map_err(|e| self.positioned(e))
+    }
+
+    fn next_inner(&mut self) -> Result<Segment, DecodeError> {
         if self.done {
             return Ok(Segment::End);
         }
@@ -1276,14 +1360,17 @@ impl<R: Read> SegmentDecoder<R> {
             }
             Err(e) => return Err(DecodeError::Io(e.to_string())),
         }
+        self.byte_offset += 1;
         if self.seen_trailer {
             return Err(DecodeError::Truncated("data after trailer segment"));
         }
         let mut head = [0u8; 16];
         read_exact_or(&mut self.reader, &mut head, "segment header")?;
-        let body_len = u64::from_le_bytes(head[0..8].try_into().expect("slice of 8"));
-        let checksum = u64::from_le_bytes(head[8..16].try_into().expect("slice of 8"));
+        self.byte_offset += 16;
+        let body_len = u64::from_le_bytes(le_bytes(&head[0..8]));
+        let checksum = u64::from_le_bytes(le_bytes(&head[8..16]));
         let body = read_body(&mut self.reader, body_len, "segment body")?;
+        self.byte_offset += body.len() as u64;
         let mut f = fnv_hasher();
         f.update(&kind);
         f.update(&body_len.to_le_bytes());
@@ -1292,7 +1379,11 @@ impl<R: Read> SegmentDecoder<R> {
             return Err(DecodeError::BadChecksum);
         }
         match kind[0] {
-            SEG_EVENTS => self.decode_events(&body).map(Segment::Events),
+            SEG_EVENTS => {
+                let seg = self.decode_events(&body)?;
+                self.segments += 1;
+                Ok(Segment::Events(seg))
+            }
             SEG_TRAILER => {
                 self.seen_trailer = true;
                 decode_trailer(&body, self.meta.n_procs).map(|t| Segment::Trailer(Box::new(t)))
@@ -1301,7 +1392,7 @@ impl<R: Read> SegmentDecoder<R> {
         }
     }
 
-    fn decode_events(&mut self, body: &[u8]) -> Result<Vec<LogEvent>, DecodeError> {
+    fn decode_events(&mut self, body: &[u8]) -> Result<EventSegment, DecodeError> {
         let mut r = Reader::new(body);
         let commits_end = r.u64("segment commit watermark")?;
         let mut marks = Vec::with_capacity(self.meta.n_procs as usize);
@@ -1330,7 +1421,78 @@ impl<R: Read> SegmentDecoder<R> {
         if self.gcc != commits_end || self.counters != marks {
             return Err(DecodeError::Truncated("segment watermark"));
         }
-        Ok(events)
+        Ok(EventSegment {
+            events,
+            commit_watermark: commits_end,
+            chunk_watermarks: marks,
+        })
+    }
+}
+
+/// A validated item yielded by [`SegmentWalker`].
+#[derive(Debug)]
+pub enum WalkedSegment {
+    /// One event segment, fully decoded and checksum-verified.
+    Events(EventSegment),
+    /// The stream trailer.
+    Trailer(Box<StreamTrailer>),
+    /// End of stream (only reported after a trailer was seen).
+    End,
+}
+
+/// A public, position-aware walk over the raw `.dlrn` segment
+/// structure: every frame is checksum-verified and decoded, and all
+/// failures carry the [`StreamPosition`] they were detected at. This
+/// is the substrate the `delorean-analyze` log lint is built on; it
+/// holds only one segment in memory at a time.
+pub struct SegmentWalker<R: Read> {
+    dec: SegmentDecoder<R>,
+}
+
+impl<R: Read> std::fmt::Debug for SegmentWalker<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentWalker")
+            .field("position", &self.dec.position())
+            .finish()
+    }
+}
+
+impl<R: Read> SegmentWalker<R> {
+    /// Opens a stream, validating the header and metadata eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the header is corrupt, from an
+    /// incompatible version, or references an unknown workload.
+    pub fn open(reader: R) -> Result<Self, DecodeError> {
+        Ok(Self {
+            dec: SegmentDecoder::open(reader)?,
+        })
+    }
+
+    /// The stream metadata decoded from the header.
+    pub fn meta(&self) -> &StreamMeta {
+        &self.dec.meta
+    }
+
+    /// Current decode position.
+    pub fn position(&self) -> StreamPosition {
+        self.dec.position()
+    }
+
+    /// Decodes the next segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PositionedDecodeError`] when the stream is
+    /// truncated, corrupt, or structurally inconsistent at this
+    /// segment.
+    pub fn next_segment(&mut self) -> Result<WalkedSegment, PositionedDecodeError> {
+        match self.dec.next()? {
+            Segment::Events(seg) => Ok(WalkedSegment::Events(seg)),
+            Segment::Trailer(t) => Ok(WalkedSegment::Trailer(t)),
+            Segment::End => Ok(WalkedSegment::End),
+        }
     }
 }
 
@@ -1341,9 +1503,9 @@ pub(crate) fn read_recording(bytes: &[u8]) -> Result<Recording, DecodeError> {
     let mut sink = MemorySink::new();
     sink.begin(&dec.meta.clone());
     loop {
-        match dec.next()? {
-            Segment::Events(events) => {
-                for ev in &events {
+        match dec.next().map_err(|e| e.error)? {
+            Segment::Events(seg) => {
+                for ev in &seg.events {
                     sink.on_event(ev);
                 }
             }
@@ -1428,10 +1590,10 @@ impl<R: Read> FileSource<R> {
             return;
         }
         match self.dec.next() {
-            Ok(Segment::Events(events)) => {
+            Ok(Segment::Events(seg)) => {
                 let picolog = self.dec.meta.mode == Mode::PicoLog;
                 let has_pi = self.dec.meta.mode.has_pi_log();
-                for ev in events {
+                for ev in seg.events {
                     if has_pi {
                         self.pi.push_back(ev.committer);
                     }
@@ -1581,6 +1743,9 @@ impl<R: Read> LogSource for FileSource<R> {
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
     use delorean_chunk::TruncationReason;
 

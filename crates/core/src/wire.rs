@@ -64,20 +64,25 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(s)
     }
+    fn array<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], DecodeError> {
+        let mut a = [0u8; N];
+        a.copy_from_slice(self.take(N, what)?);
+        Ok(a)
+    }
     pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, DecodeError> {
         Ok(self.take(1, what)?[0])
     }
     pub(crate) fn u16(&mut self, what: &'static str) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array(what)?))
     }
     pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array(what)?))
     }
     pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array(what)?))
     }
     pub(crate) fn f64(&mut self, what: &'static str) -> Result<f64, DecodeError> {
-        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.array(what)?))
     }
     pub(crate) fn len(&mut self, what: &'static str) -> Result<usize, DecodeError> {
         let n = self.u64(what)?;
@@ -150,6 +155,9 @@ pub(crate) fn mode_from(tag: u8) -> Result<Mode, DecodeError> {
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
 
     #[test]

@@ -6,6 +6,9 @@
 //! cargo run --release -p delorean --example io_replay
 //! ```
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use delorean::{Machine, Mode};
 use delorean_chunk::DeviceConfig;
 use delorean_isa::workload;

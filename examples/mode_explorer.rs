@@ -6,6 +6,9 @@
 //! cargo run --release -p delorean --example mode_explorer [workload]
 //! ```
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use delorean::{Machine, Mode};
 use delorean_isa::workload;
 

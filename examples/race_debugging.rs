@@ -12,6 +12,9 @@
 //! cargo run --release -p delorean --example race_debugging
 //! ```
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use delorean::{Machine, Mode};
 use delorean_isa::workload;
 

@@ -7,6 +7,9 @@
 //! cargo run --release -p delorean --example watchpoint
 //! ```
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use delorean::inspect::ReplayInspector;
 use delorean::{Machine, Mode};
 use delorean_chunk::Committer;

@@ -1,6 +1,9 @@
 //! The FDR / RTR / Strata baselines over real SC executions, and the
 //! cross-scheme log-size relationships of Section 6.1.
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use delorean_baselines::{
     run_baseline, verify_log_covers, DependenceTracker, FdrRecorder, RtrRecorder, StrataRecorder,
 };

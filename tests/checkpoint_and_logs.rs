@@ -1,6 +1,9 @@
 //! Log sizing, stratification, checkpoints and the log-size claims of
 //! Section 6.1 at integration scale.
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use delorean::{Machine, Mode, Recording};
 use delorean_isa::workload;
 

@@ -3,6 +3,9 @@
 //! same per-processor instruction streams, same chunk counts. This is
 //! the paper's central claim (Appendix B).
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use delorean::{Machine, Mode};
 use delorean_isa::workload;
 

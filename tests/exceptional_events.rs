@@ -2,6 +2,9 @@
 //! interrupts, I/O, DMA, deterministic and non-deterministic chunk
 //! truncation.
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use delorean::{Machine, Mode};
 use delorean_chunk::DeviceConfig;
 use delorean_isa::workload;

@@ -2,6 +2,9 @@
 //! a system checkpoint taken at GCC = n, a recording interval made from
 //! it, and deterministic replay of that interval.
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use delorean::inspect::ReplayInspector;
 use delorean::{serialize, Machine, Mode};
 use delorean_isa::workload;

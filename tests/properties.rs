@@ -1,5 +1,8 @@
 //! Property-based tests over the core invariants.
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use delorean::inspect::ReplayInspector;
 use delorean::{serialize, Machine, Mode};
 use delorean_baselines::{verify_log_covers, DependenceTracker, FdrRecorder};

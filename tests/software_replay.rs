@@ -2,6 +2,9 @@
 //! software inspector and serialization round trips — over the full
 //! workload catalog.
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use delorean::inspect::ReplayInspector;
 use delorean::{serialize, Machine, Mode};
 use delorean_chunk::Committer;

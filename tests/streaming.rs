@@ -3,6 +3,9 @@
 //! the in-memory `Recording` path, and its peak buffering must be
 //! bounded by the flush granularity, not the run length.
 
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use delorean::{serialize, FileSink, FileSource, Machine, Mode};
 use delorean_isa::workload;
 use proptest::prelude::*;
