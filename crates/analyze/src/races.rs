@@ -1,7 +1,7 @@
 //! Chunk-granularity race detection (pass 2).
 //!
 //! Replays a recording through
-//! [`ReplayInspector`](delorean::inspect::ReplayInspector) with
+//! [`delorean::inspect::ReplayInspector`] with
 //! per-chunk footprint collection enabled and builds the chunk
 //! happens-before relation online with vector clocks. The columns of
 //! the clock are the processors plus one extra column for the DMA

@@ -1,0 +1,97 @@
+//! Typed errors for the sweep runner and bench pipeline.
+
+/// Everything that can go wrong running a sweep or diffing its output.
+///
+/// The runner never writes partial output: any of these surfaces
+/// *before* `BENCH_results.json` is produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenchError {
+    /// A job spec carries a zero instruction budget — running it would
+    /// panic deep inside the machine builder, so it is rejected up
+    /// front.
+    ZeroBudget {
+        /// Identity of the offending job.
+        job: String,
+    },
+    /// A job spec names a workload the catalog does not contain.
+    UnknownWorkload {
+        /// Identity of the offending job.
+        job: String,
+        /// The unknown name.
+        workload: String,
+    },
+    /// A figure name passed to `--figure` is not part of the sweep.
+    UnknownFigure {
+        /// The unknown name.
+        name: String,
+    },
+    /// A job panicked mid-run; the sweep is abandoned rather than
+    /// emitting partial JSON.
+    JobPanicked {
+        /// Identity of the panicking job.
+        job: String,
+        /// The panic message.
+        detail: String,
+    },
+    /// Reading or parsing a baseline document failed.
+    Baseline {
+        /// What went wrong.
+        detail: String,
+    },
+    /// A baseline document does not match the current schema.
+    SchemaDrift {
+        /// First mismatch found.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::ZeroBudget { job } => {
+                write!(f, "job {job}: instruction budget is zero")
+            }
+            BenchError::UnknownWorkload { job, workload } => {
+                write!(f, "job {job}: unknown workload {workload}")
+            }
+            BenchError::UnknownFigure { name } => {
+                write!(
+                    f,
+                    "unknown figure {name} (expected fig06..fig12, tab01 or tab06)"
+                )
+            }
+            BenchError::JobPanicked { job, detail } => {
+                write!(f, "job {job} panicked: {detail}")
+            }
+            BenchError::Baseline { detail } => write!(f, "baseline: {detail}"),
+            BenchError::SchemaDrift { detail } => write!(f, "schema drift: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BenchError::ZeroBudget {
+            job: "fig10/barnes/rc".into(),
+        };
+        assert!(e.to_string().contains("budget is zero"));
+        let e = BenchError::JobPanicked {
+            job: "x".into(),
+            detail: "boom".into(),
+        };
+        assert!(e.to_string().contains("boom"));
+        let e = BenchError::UnknownFigure {
+            name: "fig99".into(),
+        };
+        assert!(e.to_string().contains("fig99"));
+    }
+}

@@ -1,13 +1,41 @@
-//! Shared helpers for the DeLorean figure/table regeneration harness.
+//! The DeLorean experiment engine.
 //!
-//! Every bench target (`cargo bench -p delorean-bench`) regenerates one
-//! table or figure of the paper's evaluation section, printing the same
-//! rows/series the paper reports. Budgets are reduced by default so the
-//! whole suite finishes in minutes; set `DELOREAN_FULL=1` for 5x longer
-//! runs.
+//! Two entry points share this crate:
+//!
+//! * **The sweep runner** ([`runner::run_sweep`]) — enumerates every
+//!   figure/table point of the paper's evaluation as independent jobs
+//!   ([`jobs`]), executes them across a work-stealing pool of scoped
+//!   worker threads ([`pool`]), and serializes one [`record::BenchRecord`]
+//!   per point into `BENCH_results.json` ([`json`]). The `delorean bench`
+//!   CLI subcommand and CI's regression gate ([`runner::diff_against`])
+//!   sit on top of it. Results are byte-identical at any `--jobs` value.
+//! * **The classic bench targets** (`cargo bench -p delorean-bench`) —
+//!   one human-readable table/figure printout per target, using the
+//!   small helpers below. Budgets are reduced by default so the whole
+//!   suite finishes in minutes; set `DELOREAN_FULL=1` for 5x longer
+//!   runs (the sweep's equivalent knob is `--full`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod error;
+pub mod jobs;
+pub mod json;
+pub mod pool;
+pub mod record;
+pub mod runner;
+pub mod targets;
+
+pub use error::BenchError;
+pub use jobs::{enumerate_jobs, run_job, Figure, JobKind, JobSpec};
+pub use json::Json;
+pub use pool::{run_jobs, JobPanic};
+pub use record::{BenchRecord, StageTimings, SCHEMA_VERSION};
+pub use runner::{
+    diff_against, parse_document, run_sweep, DiffEntry, DiffReport, FigureSummary, SummaryMetric,
+    SweepConfig, SweepResults,
+};
+pub use targets::{paper_value, PaperTarget, PAPER_TARGETS};
 
 use delorean_isa::workload::{self, WorkloadSpec};
 

@@ -1,0 +1,244 @@
+//! A work-stealing pool of scoped worker threads.
+//!
+//! Sweep jobs are embarrassingly parallel (all simulator state is
+//! per-job) but wildly uneven — a 16-processor PicoLog point costs an
+//! order of magnitude more than a 2-processor baseline — so static
+//! partitioning leaves workers idle. Each worker owns a deque seeded
+//! round-robin; it pops from its own front and, when empty, steals from
+//! the *back* of the busiest victim, which moves the largest remaining
+//! contiguous run of work in one lock acquisition.
+//!
+//! Results are returned **in job order** regardless of which worker ran
+//! what, and a job's output depends only on its spec — together these
+//! make the pool's output byte-identical at any worker count.
+//!
+//! A panicking job aborts the pool: remaining workers drain, queued
+//! jobs are abandoned, and the caller gets a typed [`JobPanic`] instead
+//! of a partial result set.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A job panicked inside the pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the panicking job in the input slice.
+    pub job_index: usize,
+    /// The panic payload, when it was a string.
+    pub detail: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.job_index, self.detail)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Runs `f` over every job on up to `workers` scoped threads and
+/// returns the results in job order.
+///
+/// Determinism contract: provided `f` is a pure function of
+/// `(index, job)`, the returned vector is identical for every `workers`
+/// value — parallelism only changes wall-clock time.
+///
+/// # Errors
+///
+/// Returns a [`JobPanic`] describing the first panicking job (by
+/// completion order); in-flight jobs finish, queued jobs are abandoned,
+/// and no partial results escape.
+pub fn run_jobs<J, R, F>(jobs: &[J], workers: usize, f: F) -> Result<Vec<R>, JobPanic>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(usize, &J) -> R + Sync,
+{
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = workers.clamp(1, jobs.len());
+    if workers == 1 {
+        // Serial fast path — identical semantics, no thread overhead.
+        let mut out = Vec::with_capacity(jobs.len());
+        for (idx, job) in jobs.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(idx, job))) {
+                Ok(r) => out.push(r),
+                Err(payload) => {
+                    return Err(JobPanic {
+                        job_index: idx,
+                        detail: panic_message(payload.as_ref()),
+                    })
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    // Per-worker deques, seeded round-robin so every worker starts with
+    // a spread of cheap and expensive jobs.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|t| {
+            Mutex::new(
+                (t..jobs.len())
+                    .step_by(workers)
+                    .collect::<VecDeque<usize>>(),
+            )
+        })
+        .collect();
+    let abort = AtomicBool::new(false);
+    let first_panic: Mutex<Option<JobPanic>> = Mutex::new(None);
+
+    let mut per_worker: Vec<Vec<(usize, R)>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let queues = &queues;
+                let abort = &abort;
+                let first_panic = &first_panic;
+                let f = &f;
+                s.spawn(move || {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    while !abort.load(Ordering::Relaxed) {
+                        let Some(idx) = next_job(queues, me) else {
+                            break;
+                        };
+                        match catch_unwind(AssertUnwindSafe(|| f(idx, &jobs[idx]))) {
+                            Ok(r) => done.push((idx, r)),
+                            Err(payload) => {
+                                let mut slot =
+                                    first_panic.lock().unwrap_or_else(|e| e.into_inner());
+                                if slot.is_none() {
+                                    *slot = Some(JobPanic {
+                                        job_index: idx,
+                                        detail: panic_message(payload.as_ref()),
+                                    });
+                                }
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            // Worker bodies catch job panics; the thread itself cannot
+            // unwind except through a bug in the pool.
+            #[allow(clippy::expect_used)]
+            per_worker.push(h.join().expect("pool worker panicked"));
+        }
+    });
+
+    if let Some(p) = first_panic.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        return Err(p);
+    }
+    let mut merged: Vec<(usize, R)> = per_worker.into_iter().flatten().collect();
+    merged.sort_by_key(|(idx, _)| *idx);
+    Ok(merged.into_iter().map(|(_, r)| r).collect())
+}
+
+/// Pops the next job index: own queue front first, then steal from the
+/// back of the fullest other queue.
+fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(idx) = queues[me]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .pop_front()
+    {
+        return Some(idx);
+    }
+    // Pick the victim with the most queued work so steals are rare.
+    let victim = (0..queues.len())
+        .filter(|&t| t != me)
+        .max_by_key(|&t| queues[t].lock().unwrap_or_else(|e| e.into_inner()).len())?;
+    queues[victim]
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .pop_back()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        let jobs: Vec<u64> = (0..97).collect();
+        for workers in [1, 2, 8, 200] {
+            let out = run_jobs(&jobs, workers, |idx, &j| {
+                assert_eq!(idx as u64, j);
+                j * j
+            })
+            .unwrap();
+            assert_eq!(out, jobs.iter().map(|j| j * j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn uneven_jobs_balance_via_stealing() {
+        // One job is 100x the others; with 4 workers the small jobs
+        // must all still complete (stolen away from the busy worker's
+        // neighbours) and order must hold.
+        let jobs: Vec<u64> = (0..40).collect();
+        let out = run_jobs(&jobs, 4, |_, &j| {
+            let spin = if j == 0 { 2_000_000 } else { 20_000 };
+            let mut acc = j;
+            for i in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (j, acc)
+        })
+        .unwrap();
+        for (i, (j, _)) in out.iter().enumerate() {
+            assert_eq!(i as u64, *j);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = run_jobs::<u32, u32, _>(&[], 8, |_, &j| j).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panicking_job_returns_typed_error() {
+        let jobs: Vec<u32> = (0..32).collect();
+        for workers in [1, 4] {
+            let err = run_jobs(&jobs, workers, |_, &j| {
+                if j == 7 {
+                    panic!("budget exhausted mid-flight");
+                }
+                j
+            })
+            .unwrap_err();
+            assert_eq!(err.job_index, 7);
+            assert!(err.detail.contains("budget exhausted"), "{err}");
+            assert!(err.to_string().contains("job 7"));
+        }
+    }
+
+    #[test]
+    fn formatted_panics_carry_their_message() {
+        let jobs = [1u32];
+        let err = run_jobs(&jobs, 1, |_, &j| panic!("job {j} failed")).unwrap_err();
+        assert_eq!(err.detail, "job 1 failed");
+    }
+}

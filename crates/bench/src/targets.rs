@@ -1,0 +1,106 @@
+//! The paper's published values for every summary metric the sweep
+//! computes.
+//!
+//! Each figure's summary (see [`crate::runner`]) is a list of named
+//! metrics; this table attaches the paper's number to the metrics that
+//! have one, so reports and the diff mode can print paper vs measured
+//! side by side. Comparisons are *shape* comparisons — the substrate is
+//! a synthetic simulator, so paper values anchor direction and rough
+//! magnitude, not absolute equality (see EXPERIMENTS.md).
+
+/// A published value for one summary metric.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperTarget {
+    /// Figure/table id, e.g. `fig10`.
+    pub figure: &'static str,
+    /// Metric name within that figure's summary.
+    pub metric: &'static str,
+    /// The paper's value.
+    pub paper: f64,
+}
+
+/// The paper's column for every metric that has a published
+/// counterpart.
+pub const PAPER_TARGETS: &[PaperTarget] = &[
+    // Figure 6 — OrderOnly log size (bits/proc/kinst, SP2 G.M.).
+    t("fig06", "oo_raw_sp2_c1000", 4.0),
+    t("fig06", "oo_raw_sp2_c2000", 2.1),
+    t("fig06", "oo_raw_sp2_c3000", 1.4),
+    t("fig06", "oo_cs_sp2_c2000", 0.0),
+    // Figure 7 — PicoLog CS-only log.
+    t("fig07", "picolog_sp2_c1000", 0.05),
+    t("fig07", "picolog_gb_per_day_c1000", 20.0),
+    // Figure 8 — Order&Size log.
+    t("fig08", "ordersize_sp2_c2000", 3.7),
+    // Figure 9 — stratified PI log, normalized to plain.
+    t("fig09", "strat1_pi_ratio_sp2", 0.46),
+    t("fig09", "strat3_pi_ratio_sp2", 0.80),
+    t("fig09", "strat7_pi_ratio_sp2", 1.0),
+    // Figure 10 — initial-execution speedup over RC (SP2 G.M.).
+    t("fig10", "bulksc_speedup_sp2", 0.98),
+    t("fig10", "ordersize_speedup_sp2", 0.97),
+    t("fig10", "orderonly_speedup_sp2", 0.98),
+    t("fig10", "picolog_speedup_sp2", 0.86),
+    t("fig10", "sc_speedup_sp2", 0.79),
+    t("fig10", "bulksc_traffic_vs_rc", 1.09),
+    t("fig10", "picolog_traffic_vs_orderonly", 1.17),
+    // Figure 11 — replay speedup over RC (SP2 G.M.).
+    t("fig11", "orderonly_replay_speedup_sp2", 0.82),
+    t("fig11", "stratified_replay_speedup_sp2", 0.82),
+    t("fig11", "picolog_replay_speedup_sp2", 0.72),
+    // Figure 12 — PicoLog relative performance, 1,000-inst chunks.
+    t("fig12", "picolog_rel_4p_c1000", 0.87),
+    t("fig12", "picolog_rel_16p_c1000", 0.77),
+    // Table 1 — log sizes of prior recorders (published figures; our
+    // encodings are simpler, so measured runs land higher — see
+    // EXPERIMENTS.md).
+    t("tab01", "fdr_bits_gm", 16.0),
+    t("tab01", "rtr_bits_gm", 8.0),
+    t("tab01", "orderonly_bits_gm", 2.1),
+    t("tab06", "proc_ready_pct_gm", 80.0),
+    t("tab06", "token_roundtrip_gm", 1950.0),
+];
+
+const fn t(figure: &'static str, metric: &'static str, paper: f64) -> PaperTarget {
+    PaperTarget {
+        figure,
+        metric,
+        paper,
+    }
+}
+
+/// Looks up the paper's value for a metric, if published.
+pub fn paper_value(figure: &str, metric: &str) -> Option<f64> {
+    PAPER_TARGETS
+        .iter()
+        .find(|p| p.figure == figure && p.metric == metric)
+        .map(|p| p.paper)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    #[test]
+    fn lookup_finds_published_values() {
+        assert_eq!(paper_value("fig10", "picolog_speedup_sp2"), Some(0.86));
+        assert_eq!(paper_value("fig10", "made_up"), None);
+    }
+
+    #[test]
+    fn targets_are_unique() {
+        for (i, a) in PAPER_TARGETS.iter().enumerate() {
+            for b in &PAPER_TARGETS[i + 1..] {
+                assert!(
+                    !(a.figure == b.figure && a.metric == b.metric),
+                    "duplicate target {}/{}",
+                    a.figure,
+                    a.metric
+                );
+            }
+        }
+    }
+}

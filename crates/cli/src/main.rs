@@ -13,6 +13,7 @@
 use delorean::inspect::ReplayInspector;
 use delorean::stream::StreamMeta;
 use delorean::{serialize, FileSink, FileSource, LogSource, Machine, Mode, Recording};
+use delorean_bench as bench;
 use delorean_chunk::Committer;
 use delorean_isa::workload;
 use std::fs::File;
@@ -44,13 +45,22 @@ usage:
   delorean info <file>
   delorean replay <file> [--seed N] [--stratified MAX]
   delorean inspect <file> [--watch ADDR]... [--limit N]
-  delorean analyze <file> [--json] [--skip static|races|lint]... [--max-examples N]";
+  delorean analyze <file> [--json] [--skip static|races|lint]... [--max-examples N]
+  delorean bench [--figure figNN]... [--json PATH] [--jobs N] [--full]
+                 [--baseline PATH] [--tolerance PCT] [--seed N]
+                 [--budget-div N] [--verbose]";
 
 fn run(argv: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = argv.first() else {
         return Err("missing command".to_string());
     };
-    let args = Args::parse_with_switches(&argv[1..], &["--json"])?;
+    // Boolean switches are per-command: `analyze --json` is a toggle,
+    // `bench --json PATH` takes the output path as a value.
+    let switches: &[&str] = match cmd.as_str() {
+        "bench" => &["--full", "--verbose"],
+        _ => &["--json"],
+    };
+    let args = Args::parse_with_switches(&argv[1..], switches)?;
     match cmd.as_str() {
         "list" => cmd_list().map(|()| ExitCode::SUCCESS),
         "record" => cmd_record(&args).map(|()| ExitCode::SUCCESS),
@@ -58,6 +68,7 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         "replay" => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
         "inspect" => cmd_inspect(&args).map(|()| ExitCode::SUCCESS),
         "analyze" => cmd_analyze(&args),
+        "bench" => cmd_bench(&args),
         other => Err(format!("unknown command {other}")),
     }
 }
@@ -380,6 +391,106 @@ fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
         Ok(ExitCode::FAILURE)
     } else {
         Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// `delorean bench` — the parallel experiment engine: regenerates the
+/// paper's figure/table points as a job sweep, optionally writing the
+/// structured `BENCH_results.json` document and gating against a
+/// committed baseline.
+///
+/// No partial output: any sweep error (zero budget, unknown workload
+/// or figure, a panicking job) surfaces *before* the JSON file is
+/// created.
+fn cmd_bench(args: &Args) -> Result<ExitCode, String> {
+    let mut figures = Vec::new();
+    for name in args.get_all("--figure") {
+        figures.push(
+            bench::Figure::parse(&name).ok_or_else(|| {
+                bench::BenchError::UnknownFigure { name: name.clone() }.to_string()
+            })?,
+        );
+    }
+    let cfg = bench::SweepConfig {
+        figures,
+        jobs: args.num("--jobs")?.unwrap_or(0) as usize,
+        full: args.has("--full"),
+        base_seed: args.num("--seed")?.unwrap_or(42),
+        budget_div: args.num("--budget-div")?.unwrap_or(1),
+        verbose: args.has("--verbose"),
+    };
+    let results = bench::run_sweep(&cfg).map_err(|e| e.to_string())?;
+
+    if let Some(path) = args.get("--json") {
+        let text = results.to_json().pretty();
+        std::fs::write(&path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote {} records to {path} ({} workers, {:.0} ms)",
+            results.records.len(),
+            results.workers,
+            results.total_wall_ms
+        );
+    }
+    print_bench_summary(&results);
+    if args.has("--verbose") {
+        print_stage_totals(&results);
+    }
+
+    let Some(baseline_path) = args.get("--baseline") else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let text = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("reading {baseline_path}: {e}"))?;
+    let baseline = bench::parse_document(&text).map_err(|e| e.to_string())?;
+    let tolerance = args.num("--tolerance")?.unwrap_or(25) as f64;
+    let report = bench::diff_against(&results, &baseline, tolerance);
+    print!("{}", report.render());
+    if report.passed() {
+        println!("baseline gate: PASS");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("baseline gate: FAIL");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn print_bench_summary(results: &bench::SweepResults) {
+    for s in &results.summaries {
+        println!();
+        println!("== {} ==", s.figure);
+        for m in &s.metrics {
+            match m.paper {
+                Some(p) => println!(
+                    "  {:<32} measured {:>10.3}   paper {:>8.3}",
+                    m.name, m.measured, p
+                ),
+                None => println!("  {:<32} measured {:>10.3}", m.name, m.measured),
+            }
+        }
+    }
+}
+
+/// Per-stage wall-clock totals across the sweep (`--verbose`).
+fn print_stage_totals(results: &bench::SweepResults) {
+    let mut record = 0.0;
+    let mut replay = 0.0;
+    let mut compress = 0.0;
+    let mut arb: u64 = 0;
+    for r in &results.records {
+        record += r.timings.record_ms;
+        replay += r.timings.replay_ms;
+        compress += r.timings.compress_ms;
+        arb += r.timings.arb_cycles;
+    }
+    println!();
+    println!("stage totals across {} jobs:", results.records.len());
+    println!("  record    {record:>10.0} ms");
+    println!("  replay    {replay:>10.0} ms");
+    println!("  compress  {compress:>10.0} ms");
+    println!("  commit arbitration {arb} simulated cycles");
+    let peak = results.records.iter().map(|r| r.peak_rss_kb).max();
+    if let Some(kb) = peak {
+        println!("  peak RSS  {kb} KiB");
     }
 }
 

@@ -151,6 +151,125 @@ fn best_match(data: &[u8], i: usize, head: &[usize], prev: &[usize]) -> (usize, 
     (best_len, best_dist)
 }
 
+/// Default segment size for [`compress_blocks_parallel`] /
+/// [`compressed_bits_parallel`]: large enough that per-block setup is
+/// amortized, small enough that a sweep-sized log yields a block per
+/// worker.
+pub const PAR_BLOCK: usize = 256 * 1024;
+
+/// Compresses one `block_size`-aligned segment of `data` exactly as the
+/// streaming [`Encoder`] would when flushed every `block_size` bytes:
+/// the match window is seeded with the raw bytes preceding the segment
+/// (up to [`WINDOW`]), so distances may reach across the segment
+/// boundary. Returns the packed block and its token-stream bit length
+/// (excluding the 32-bit length header).
+fn compress_block(data: &[u8], start: usize, end: usize) -> (Vec<u8>, u64) {
+    let hist_start = start.saturating_sub(WINDOW);
+    let slice = &data[hist_start..end];
+    let local_start = start - hist_start;
+    let mut w = BitWriter::new();
+    w.write_bits((end - start) as u64, 32);
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; slice.len()];
+    let indexed = local_start.min(slice.len().saturating_sub(MIN_MATCH - 1));
+    for (j, slot) in prev.iter_mut().enumerate().take(indexed) {
+        let h = hash3(slice, j);
+        *slot = head[h];
+        head[h] = j;
+    }
+    let before = w.bit_len();
+    compress_from(slice, local_start, &mut head, &mut prev, &mut w);
+    let token_bits = w.bit_len() - before;
+    (w.into_bytes(), token_bits)
+}
+
+/// Compresses `data` as a sequence of `block_size`-byte streaming
+/// blocks, distributing the blocks over up to `workers` scoped threads.
+///
+/// Because each block's match window is seeded from the *raw* input
+/// bytes preceding it (not from previously compressed output), the
+/// blocks are independent work items: the result is byte-identical to
+/// pushing `data` through an [`Encoder`] and calling
+/// [`Encoder::flush_block`] every `block_size` bytes, at **any** worker
+/// count — the property the parallel sweep engine relies on. Decode
+/// the blocks in order with a [`Decoder`].
+///
+/// # Panics
+///
+/// Panics if `block_size` is zero.
+pub fn compress_blocks_parallel(data: &[u8], block_size: usize, workers: usize) -> Vec<Vec<u8>> {
+    assert!(block_size > 0, "block size must be positive");
+    let n_blocks = data.len().div_ceil(block_size);
+    if n_blocks == 0 {
+        return Vec::new();
+    }
+    run_blocks(data, block_size, n_blocks, workers)
+        .into_iter()
+        .map(|(packed, _)| packed)
+        .collect()
+}
+
+/// Compressed size of `data` in bits under segmented (streaming)
+/// compression: the sum of every block's token-stream bits, excluding
+/// the per-block length headers. Deterministic and identical at any
+/// `workers` value; slightly larger than [`compressed_bits`] because
+/// matches cannot precede the stream start of each window.
+///
+/// # Panics
+///
+/// Panics if `block_size` is zero.
+pub fn compressed_bits_parallel(data: &[u8], block_size: usize, workers: usize) -> u64 {
+    assert!(block_size > 0, "block size must be positive");
+    let n_blocks = data.len().div_ceil(block_size);
+    if n_blocks == 0 {
+        return 0;
+    }
+    run_blocks(data, block_size, n_blocks, workers)
+        .iter()
+        .map(|(_, bits)| bits)
+        .sum()
+}
+
+/// Runs [`compress_block`] for every block index, striding the indices
+/// across `workers` threads, and returns the results in block order.
+/// A packed block plus its token-stream bit length.
+type BlockResult = (Vec<u8>, u64);
+
+fn run_blocks(data: &[u8], block_size: usize, n_blocks: usize, workers: usize) -> Vec<BlockResult> {
+    let workers = workers.clamp(1, n_blocks);
+    let block_of = |idx: usize| {
+        let start = idx * block_size;
+        let end = (start + block_size).min(data.len());
+        compress_block(data, start, end)
+    };
+    if workers == 1 {
+        return (0..n_blocks).map(block_of).collect();
+    }
+    let mut per_worker: Vec<Vec<(usize, BlockResult)>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
+                let block_of = &block_of;
+                s.spawn(move || {
+                    (t..n_blocks)
+                        .step_by(workers)
+                        .map(|idx| (idx, block_of(idx)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            // A worker thread only panics if `compress_block` does,
+            // which is a bug, not an input condition.
+            #[allow(clippy::expect_used)]
+            per_worker.push(h.join().expect("compression worker panicked"));
+        }
+    });
+    let mut merged: Vec<(usize, BlockResult)> = per_worker.into_iter().flatten().collect();
+    merged.sort_by_key(|(idx, _)| *idx);
+    merged.into_iter().map(|(_, r)| r).collect()
+}
+
 /// Decompresses a stream produced by [`compress`].
 ///
 /// # Errors
@@ -468,6 +587,64 @@ mod tests {
             segmented < one_shot * 2,
             "segmented {segmented} vs one-shot {one_shot}"
         );
+    }
+
+    #[test]
+    fn parallel_blocks_match_streaming_encoder() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let data: Vec<u8> = (0..40_000u32)
+            .map(|i| ((i % 13) | ((rng.gen::<u8>() as u32 % 5) << 4)) as u8)
+            .collect();
+        let block = 8 * 1024;
+        let parallel = compress_blocks_parallel(&data, block, 4);
+        let mut enc = Encoder::new();
+        let mut sequential = Vec::new();
+        for chunk in data.chunks(block) {
+            enc.push(chunk);
+            sequential.push(enc.flush_block());
+        }
+        assert_eq!(parallel, sequential);
+        let mut dec = Decoder::new();
+        let mut out = Vec::new();
+        for b in &parallel {
+            out.extend(dec.decode_block(b).unwrap());
+        }
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn parallel_output_is_worker_invariant() {
+        let data: Vec<u8> = (0..50_000u32).map(|i| ((i * 31) % 251) as u8).collect();
+        let one = compress_blocks_parallel(&data, 4096, 1);
+        let three = compress_blocks_parallel(&data, 4096, 3);
+        let many = compress_blocks_parallel(&data, 4096, 16);
+        assert_eq!(one, three);
+        assert_eq!(one, many);
+        assert_eq!(
+            compressed_bits_parallel(&data, 4096, 1),
+            compressed_bits_parallel(&data, 4096, 8)
+        );
+    }
+
+    #[test]
+    fn parallel_bits_track_one_shot() {
+        let data: Vec<u8> = (0..64 * 1024u32)
+            .map(|i| ((i % 9) | ((i % 7) << 4)) as u8)
+            .collect();
+        let seg = compressed_bits_parallel(&data, 8 * 1024, 4);
+        let one = compressed_bits(&data);
+        assert!(seg >= one, "segmented {seg} < one-shot {one}");
+        assert!(seg < one * 2, "segmented {seg} vs one-shot {one}");
+    }
+
+    #[test]
+    fn parallel_empty_and_tiny_inputs() {
+        assert!(compress_blocks_parallel(&[], 1024, 4).is_empty());
+        assert_eq!(compressed_bits_parallel(&[], 1024, 4), 0);
+        let blocks = compress_blocks_parallel(b"ab", 1024, 4);
+        assert_eq!(blocks.len(), 1);
+        let mut dec = Decoder::new();
+        assert_eq!(dec.decode_block(&blocks[0]).unwrap(), b"ab");
     }
 
     #[test]

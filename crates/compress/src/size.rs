@@ -24,12 +24,33 @@ pub struct LogSize {
     pub compressed_bits: u64,
 }
 
+/// Logs at least this large are measured with segmented parallel
+/// compression ([`lz77::compressed_bits_parallel`]) instead of a
+/// one-shot pass. The threshold and segment size are fixed so the
+/// measured value depends only on the bytes, never on the machine's
+/// core count.
+pub const PARALLEL_MEASURE_THRESHOLD: usize = 1 << 20;
+
+fn measured_bits(bytes: &[u8]) -> u64 {
+    if bytes.len() >= PARALLEL_MEASURE_THRESHOLD {
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        lz77::compressed_bits_parallel(bytes, lz77::PAR_BLOCK, workers)
+    } else {
+        lz77::compressed_bits(bytes)
+    }
+}
+
 impl LogSize {
     /// Measures a byte buffer, compressing it with [`lz77`].
+    ///
+    /// Buffers of [`PARALLEL_MEASURE_THRESHOLD`] bytes or more are
+    /// compressed per-segment on all available cores; the segmented
+    /// size is what the streaming `.dlrn` writer produces anyway, and
+    /// it is identical at any core count.
     pub fn from_bytes(bytes: &[u8]) -> Self {
         Self {
             raw_bits: bytes.len() as u64 * 8,
-            compressed_bits: lz77::compressed_bits(bytes),
+            compressed_bits: measured_bits(bytes),
         }
     }
 
@@ -37,11 +58,12 @@ impl LogSize {
     ///
     /// Used when the logical log is not byte-aligned (e.g. 4-bit PI
     /// entries): `raw_bits` counts the logical bits while compression
-    /// operates on the packed representation.
+    /// operates on the packed representation. Large buffers take the
+    /// same parallel segmented path as [`LogSize::from_bytes`].
     pub fn from_bits(bytes: &[u8], raw_bits: u64) -> Self {
         Self {
             raw_bits,
-            compressed_bits: lz77::compressed_bits(bytes).min(raw_bits),
+            compressed_bits: measured_bits(bytes).min(raw_bits),
         }
     }
 
@@ -138,6 +160,22 @@ mod tests {
     fn zero_instructions_yields_zero_rate() {
         let s = LogSize::from_bytes(&[1, 2, 3]);
         assert_eq!(s.bits_per_proc_per_kiloinst(0, 8), 0.0);
+    }
+
+    #[test]
+    fn large_buffers_measure_via_segmented_parallel_path() {
+        // Above the threshold the measured size must equal the
+        // fixed-segmentation parallel measurement (worker-invariant),
+        // not the one-shot size.
+        let data: Vec<u8> = (0..PARALLEL_MEASURE_THRESHOLD as u32 + 17)
+            .map(|i| ((i % 9) | ((i % 7) << 4)) as u8)
+            .collect();
+        let s = LogSize::from_bytes(&data);
+        assert_eq!(
+            s.compressed_bits,
+            lz77::compressed_bits_parallel(&data, lz77::PAR_BLOCK, 1)
+        );
+        assert_eq!(s.raw_bits, data.len() as u64 * 8);
     }
 
     #[test]

@@ -62,7 +62,7 @@ mod wire;
 pub use error::ReplayError;
 pub use machine::{Machine, MachineBuilder, Recording, ReplayReport};
 pub use mode::Mode;
-pub use recorder::Recorder;
+pub use recorder::{LogSet, Recorder};
 pub use replayer::Replayer;
 pub use stream::{
     EventSegment, FileSink, FileSource, LogSink, LogSource, MemorySink, MemorySource,

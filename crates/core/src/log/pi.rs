@@ -127,10 +127,9 @@ impl PiLog {
             .map(|&e| self.encode_symbol(e) as u8)
             .collect();
         let raw = self.entries.len() as u64 * u64::from(self.entry_bits());
-        LogSize {
-            raw_bits: raw,
-            compressed_bits: delorean_compress::lz77::compressed_bits(&symbols).min(raw),
-        }
+        // `from_bits` compresses per-segment on all cores once the
+        // symbol stream crosses the parallel-measure threshold.
+        LogSize::from_bits(&symbols, raw)
     }
 }
 

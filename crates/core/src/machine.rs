@@ -484,14 +484,16 @@ impl Machine {
         // grants, which it reports by panicking ("engine deadlock");
         // surface that as a stream error rather than crashing. The
         // default panic hook would still print a backtrace before
-        // `catch_unwind` recovers, so silence it around the guarded run.
-        let prev_hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &interval {
-            Some(start) => run_from(&spec, &cfg, &mut replayer, start),
-            None => run(&spec, &cfg, &mut replayer),
-        }));
-        std::panic::set_hook(prev_hook);
+        // `catch_unwind` recovers, so silence it around the guarded
+        // run. The guard refcounts a process-global swap, so concurrent
+        // replays (e.g. a verification fan-out) stay race-free.
+        let outcome = {
+            let _silence = panic_silence::silence();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &interval {
+                Some(start) => run_from(&spec, &cfg, &mut replayer, start),
+                None => run(&spec, &cfg, &mut replayer),
+            }))
+        };
         let (mut source, mut divergence) = replayer.into_parts();
         let stats = match outcome {
             Ok(stats) => stats,
@@ -524,6 +526,61 @@ impl Machine {
         })
     }
 
+    /// Replays `recording` once per seed in `seeds` — the paper's
+    /// perturbed-replay verification fan-out (Section 6.2.1 averages
+    /// five such runs per figure point) — distributing the independent
+    /// replays over up to `workers` scoped threads.
+    ///
+    /// Reports come back in seed order and are identical at any worker
+    /// count: each replay's outcome depends only on the recording and
+    /// its own timing seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the first failing seed (in seed order) when
+    /// any replay rejects the recording — shape mismatch or a corrupt
+    /// log stream.
+    pub fn verify_replays(
+        &self,
+        recording: &Recording,
+        seeds: &[u64],
+        workers: usize,
+    ) -> Result<Vec<ReplayReport>, ReplayError> {
+        let workers = workers.clamp(1, seeds.len().max(1));
+        if workers == 1 {
+            return seeds
+                .iter()
+                .map(|&s| self.replay_with_seed(recording, s))
+                .collect();
+        }
+        let replay_at = |idx: usize| self.replay_with_seed(recording, seeds[idx]);
+        let mut per_worker: Vec<Vec<(usize, Result<ReplayReport, ReplayError>)>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|t| {
+                    let replay_at = &replay_at;
+                    s.spawn(move || {
+                        (t..seeds.len())
+                            .step_by(workers)
+                            .map(|idx| (idx, replay_at(idx)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                // Replay never panics: engine deadlocks are caught and
+                // converted to `ReplayError::Source` inside
+                // `replay_from_with_seed`.
+                #[allow(clippy::expect_used)]
+                per_worker.push(h.join().expect("replay worker panicked"));
+            }
+        });
+        let mut merged: Vec<(usize, Result<ReplayReport, ReplayError>)> =
+            per_worker.into_iter().flatten().collect();
+        merged.sort_by_key(|(idx, _)| *idx);
+        merged.into_iter().map(|(_, r)| r).collect()
+    }
+
     /// Replays driven by a *stratified* PI log instead of the plain
     /// one (Section 4.3; Figure 11's "Stratified OrderOnly replay").
     ///
@@ -546,6 +603,57 @@ impl Machine {
             None => run(&recording.run_spec(), &cfg, &mut replayer),
         };
         Ok(report(recording, stats, replayer.into_divergence()))
+    }
+}
+
+/// Refcounted, process-global panic-hook silencing.
+///
+/// `std::panic::set_hook` mutates global state; the naive
+/// take-hook/set-hook pair around a guarded replay is a race once
+/// replays run on several threads (one thread could restore the default
+/// hook while another is still inside its guarded region, or worse,
+/// capture the silent hook as "previous" and leak it). The guard keeps
+/// a depth count: the first enterer swaps the silent hook in, the last
+/// leaver restores the original.
+mod panic_silence {
+    use std::panic::PanicHookInfo;
+    use std::sync::Mutex;
+
+    type Hook = Box<dyn Fn(&PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+    struct State {
+        depth: usize,
+        prev: Option<Hook>,
+    }
+
+    static STATE: Mutex<State> = Mutex::new(State {
+        depth: 0,
+        prev: None,
+    });
+
+    /// Silences the panic hook until the returned guard drops.
+    pub(crate) fn silence() -> Guard {
+        let mut st = STATE.lock().unwrap_or_else(|e| e.into_inner());
+        if st.depth == 0 {
+            st.prev = Some(std::panic::take_hook());
+            std::panic::set_hook(Box::new(|_| {}));
+        }
+        st.depth += 1;
+        Guard
+    }
+
+    pub(crate) struct Guard;
+
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            let mut st = STATE.lock().unwrap_or_else(|e| e.into_inner());
+            st.depth -= 1;
+            if st.depth == 0 {
+                if let Some(prev) = st.prev.take() {
+                    std::panic::set_hook(prev);
+                }
+            }
+        }
     }
 }
 
@@ -732,6 +840,34 @@ mod tests {
         assert!(matches!(
             other.replay(&recording),
             Err(ReplayError::ModeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_replays_fans_out_deterministically() {
+        let m = Machine::builder().procs(4).budget(3_000).build();
+        let rec = m.record(workload::by_name("fft").unwrap(), 7);
+        let seeds = [11u64, 22, 33, 44, 55];
+        let serial = m.verify_replays(&rec, &seeds, 1).unwrap();
+        let parallel = m.verify_replays(&rec, &seeds, 4).unwrap();
+        assert_eq!(serial.len(), seeds.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert!(a.deterministic, "{:?}", a.divergence);
+            assert!(b.deterministic);
+            assert_eq!(a.stats.cycles, b.stats.cycles);
+            assert_eq!(a.stats.digest, b.stats.digest);
+        }
+        assert!(m.verify_replays(&rec, &[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn verify_replays_surfaces_shape_errors() {
+        let m = Machine::builder().procs(2).budget(2_000).build();
+        let rec = m.record(workload::by_name("lu").unwrap(), 1);
+        let other = Machine::builder().procs(4).budget(2_000).build();
+        assert!(matches!(
+            other.verify_replays(&rec, &[1, 2, 3], 2),
+            Err(ReplayError::MachineMismatch { .. })
         ));
     }
 
