@@ -35,6 +35,6 @@ pub mod report;
 pub use footprint::{
     analyze_workload, find_static_races, AbsVal, AccessSite, FootprintReport, StaticOptions,
 };
-pub use lint::{lint_strata, lint_stream, LintReport};
+pub use lint::{lint_bytes, lint_strata, lint_stream, LintReport};
 pub use races::{detect_races, ChunkRace, Detector, RaceOptions, RaceReport};
 pub use report::{AnalysisReport, Diagnostic, Severity};

@@ -12,6 +12,7 @@
 //! O(segment) space regardless of log length.
 
 use crate::report::{diagnostics_json, Diagnostic};
+use delorean::recover::SalvageReport;
 use delorean::stratify::StratifiedPiLog;
 use delorean::stream::{EventSegment, LogEvent, StreamMeta, StreamTrailer};
 use delorean::{SegmentWalker, StreamPosition, WalkedSegment};
@@ -32,6 +33,10 @@ pub struct LintReport {
     pub trailer_seen: bool,
     /// Findings.
     pub diagnostics: Vec<Diagnostic>,
+    /// What a salvage pass would preserve, when the structural walk
+    /// aborted early and a byte image was available (see
+    /// [`lint_bytes`]).
+    pub salvage: Option<SalvageReport>,
 }
 
 impl LintReport {
@@ -41,6 +46,10 @@ impl LintReport {
             self.segments, self.events, self.dma_events, self.trailer_seen
         ));
         diagnostics_json(&self.diagnostics, out);
+        if let Some(s) = &self.salvage {
+            out.push_str(",\"salvage\":");
+            out.push_str(&s.to_json());
+        }
         out.push('}');
     }
 }
@@ -61,6 +70,11 @@ impl core::fmt::Display for LintReport {
         )?;
         for d in &self.diagnostics {
             writeln!(f, "  {d}")?;
+        }
+        if let Some(s) = &self.salvage {
+            for line in s.to_string().lines() {
+                writeln!(f, "  {line}")?;
+            }
         }
         Ok(())
     }
@@ -340,6 +354,7 @@ pub fn lint_stream<R: Read>(reader: R) -> LintReport {
                     "stream-decode",
                     format!("stream header rejected: {e}"),
                 )],
+                salvage: None,
             };
         }
     };
@@ -372,7 +387,55 @@ pub fn lint_stream<R: Read>(reader: R) -> LintReport {
         dma_events: state.dma_events,
         trailer_seen,
         diagnostics: state.diagnostics,
+        salvage: None,
     }
+}
+
+/// Lints a fully-buffered `.dlrn` image and, when the structural walk
+/// aborted early or never reached the trailer, runs the salvage pass
+/// of [`delorean::recover`] to report what a recovery would preserve.
+///
+/// Salvage findings are *warnings*, not errors: a quarantined range is
+/// damage the recovery has already contained, and a lost commit range
+/// is named so the operator knows exactly what replay cannot
+/// reproduce. The structural diagnostic that triggered the salvage
+/// (truncation, framing loss, missing trailer) keeps its severity, so
+/// a damaged stream still fails `delorean analyze`.
+pub fn lint_bytes(bytes: &[u8]) -> LintReport {
+    let mut report = lint_stream(bytes);
+    let broken =
+        !report.trailer_seen || report.diagnostics.iter().any(|d| d.code == "stream-decode");
+    if !broken {
+        return report;
+    }
+    // Err means the header itself is unusable — the stream-decode
+    // error already says so and there is nothing to salvage.
+    if let Ok(s) = delorean::recover::salvage(bytes) {
+        for q in &s.report.quarantined {
+            report.diagnostics.push(
+                Diagnostic::warning(
+                    "salvage-quarantine",
+                    format!(
+                        "bytes {}..{} quarantined ({}); salvage resynchronizes after them",
+                        q.byte_start, q.byte_end, q.reason
+                    ),
+                )
+                .at(StreamPosition {
+                    byte_offset: q.byte_start,
+                    segment: 0,
+                    commit: 0,
+                }),
+            );
+        }
+        for l in &s.report.lost {
+            report.diagnostics.push(Diagnostic::warning(
+                "salvage-lost",
+                format!("commits {l} are unrecoverable; later regions resume from a checkpoint"),
+            ));
+        }
+        report.salvage = Some(s.report);
+    }
+    report
 }
 
 /// Lints a stratified PI log against the expected per-column chunk
@@ -456,6 +519,55 @@ mod tests {
     fn empty_input_is_flagged() {
         let report = lint_stream(&b""[..]);
         assert_eq!(report.diagnostics[0].code, "stream-decode");
+    }
+
+    #[test]
+    fn truncated_stream_reports_salvage_as_warnings() {
+        let machine = delorean::Machine::builder()
+            .mode(delorean::Mode::OrderOnly)
+            .procs(2)
+            .budget(1_000)
+            .chunk_size(100)
+            .build();
+        let w = delorean_isa::workload::by_name("fft").unwrap();
+        let mut sink = delorean::FileSink::with_flush_every(Vec::new(), 4);
+        machine.record_to(w, 7, &mut sink);
+        let pristine = sink.into_inner().unwrap();
+
+        // An intact stream carries no salvage section.
+        let clean = lint_bytes(&pristine);
+        assert!(clean.salvage.is_none());
+        assert!(clean
+            .diagnostics
+            .iter()
+            .all(|d| d.severity != Severity::Error));
+
+        // Truncated at half: the structural failure keeps its error
+        // severity, the salvage account rides along as warnings.
+        let report = lint_bytes(&pristine[..pristine.len() / 2]);
+        assert!(!report.trailer_seen);
+        let salvage = report.salvage.as_ref().expect("salvage section");
+        assert!(salvage.recovered_commits > 0);
+        assert!(!salvage.trailer_recovered);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == "salvage-lost" && d.severity == Severity::Warning));
+        assert!(report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code.starts_with("salvage-"))
+            .all(|d| d.severity == Severity::Warning));
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.severity == Severity::Error),
+            "a damaged stream must still fail the lint"
+        );
+        let mut json = String::new();
+        report.write_json(&mut json);
+        assert!(json.contains("\"salvage\":{\"total_bytes\":"));
     }
 
     #[test]

@@ -35,6 +35,46 @@ impl DeviceConfig {
     }
 }
 
+/// Substrate-level fault injection, applied only while recording: a
+/// hostile-environment model that stresses exactly the paths the paper
+/// claims tolerate non-determinism (squash storms re-exercise the
+/// commit arbiter, forced truncations must flow into the CS log of the
+/// OrderOnly/PicoLog modes, and device bursts flood the input logs).
+/// All decisions come from a dedicated fault RNG so the timing RNG
+/// streams are untouched and a faulted recording still replays
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubstrateFaultConfig {
+    /// Seed for the fault RNG (independent of `timing_seed`).
+    pub seed: u64,
+    /// Cycles between squash storms (0 = never): every period, each
+    /// processor's oldest non-committing chunk is squashed.
+    pub storm_period: u64,
+    /// Probability that a freshly started chunk is forcibly truncated
+    /// to a non-deterministic size in `[1, chunk_size]`, marked shrunk
+    /// so the truncation is logged as non-deterministic.
+    pub force_truncate_prob: f64,
+    /// Multiplier on device activity rates (IRQ/DMA interference
+    /// burst); 1 leaves the configured rates alone.
+    pub device_burst: u32,
+    /// Additional per-store phantom-occupancy noise, forcing extra
+    /// non-deterministic overflow truncations.
+    pub overflow_boost: f64,
+}
+
+impl SubstrateFaultConfig {
+    /// A quiet plan: no substrate faults (useful as a base to build on).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            storm_period: 0,
+            force_truncate_prob: 0.0,
+            device_burst: 1,
+            overflow_boost: 0.0,
+        }
+    }
+}
+
 /// Replay perturbation, modelling Section 6.2.1's methodology: the
 /// replay simulator adds 10–300 cycle stalls before a random 30% of
 /// commit operations and flips the latency of 1.5% of cache accesses.
@@ -112,6 +152,9 @@ pub struct EngineConfig {
     /// (0 for the recorded-order modes, whose arbiter grants
     /// back-to-back).
     pub grant_gap: u64,
+    /// Substrate-level fault injection (recording only; replay always
+    /// runs fault-free and reproduces the faults from the logs).
+    pub faults: Option<SubstrateFaultConfig>,
 }
 
 impl EngineConfig {
@@ -135,6 +178,7 @@ impl EngineConfig {
             devices: DeviceConfig::none(),
             collect_token_stats: false,
             grant_gap: 0,
+            faults: None,
         }
     }
 
@@ -149,6 +193,9 @@ impl EngineConfig {
             max_parallel_commits: 1,
             perturb: Some(PerturbConfig::default()),
             timing_seed,
+            // Replay must be fault-free: the recorded logs already
+            // carry every effect of the injected faults.
+            faults: None,
             ..recording.clone()
         }
     }
@@ -202,6 +249,21 @@ mod tests {
         assert_eq!(c.arbitration_latency, 30);
         assert_eq!(c.max_parallel_commits, 4);
         assert_eq!(c.variable_truncate_prob, 0.0);
+    }
+
+    #[test]
+    fn replay_strips_substrate_faults() {
+        let mut rec = EngineConfig::recording(2000);
+        rec.faults = Some(SubstrateFaultConfig {
+            seed: 7,
+            storm_period: 500,
+            force_truncate_prob: 0.1,
+            device_burst: 2,
+            overflow_boost: 0.01,
+        });
+        let rep = EngineConfig::replay_of(&rec, 99);
+        assert!(rep.faults.is_none(), "replay always runs fault-free");
+        assert_eq!(SubstrateFaultConfig::none(7).device_burst, 1);
     }
 
     #[test]

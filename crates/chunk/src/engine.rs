@@ -40,6 +40,8 @@ enum Ev {
     Irq { core: u32 },
     /// DMA transfer request (recording only).
     Dma,
+    /// Injected squash storm (recording under substrate faults only).
+    Storm,
     /// Re-poll the arbiter (grant-gap pacing).
     Poll,
 }
@@ -164,6 +166,9 @@ struct Engine<'h> {
     memsys: MemorySystem,
     params: TimingParams,
     trng: SmallRng,
+    /// Fault-injection RNG, seeded independently of `trng` so injected
+    /// faults never perturb the timing randomness streams.
+    frng: SmallRng,
     devices: DeviceBank,
     pending: Vec<PendingReq>,
     committing: Vec<ActiveCommit>,
@@ -196,6 +201,23 @@ impl<'h> Engine<'h> {
     ) -> Self {
         let mut cfg = cfg.clone();
         cfg.machine.n_procs = spec.n_procs;
+        // Substrate faults (recording only): boost the overflow noise
+        // and compress the device periods *before* the device bank and
+        // memory system are built, so the burst shapes the whole run.
+        if !cfg.replay {
+            if let Some(f) = cfg.faults {
+                cfg.overflow_noise += f.overflow_boost;
+                if f.device_burst > 1 {
+                    let burst = u64::from(f.device_burst);
+                    if cfg.devices.irq_period > 0 {
+                        cfg.devices.irq_period = (cfg.devices.irq_period / burst).max(1);
+                    }
+                    if cfg.devices.dma_period > 0 {
+                        cfg.devices.dma_period = (cfg.devices.dma_period / burst).max(1);
+                    }
+                }
+            }
+        }
         let map = AddressMap::new(spec.n_procs);
         let memory = match start {
             Some(st) => {
@@ -238,6 +260,7 @@ impl<'h> Engine<'h> {
             .collect();
         let devices = DeviceBank::new(spec.seed, cfg.devices, map.dma_base(), DMA_WORDS);
         let trng = SmallRng::seed_from_u64(cfg.timing_seed ^ 0x7141_e57a);
+        let frng = SmallRng::seed_from_u64(cfg.faults.map_or(0, |f| f.seed) ^ 0xfa17_5eed);
         Self {
             budget: spec.budget,
             hooks,
@@ -251,6 +274,7 @@ impl<'h> Engine<'h> {
             memsys,
             params: TimingParams::chunk(),
             trng,
+            frng,
             devices,
             pending: Vec::new(),
             committing: Vec::new(),
@@ -302,6 +326,11 @@ impl<'h> Engine<'h> {
             if let Some(d) = self.devices.next_dma_delay() {
                 self.schedule(d, Ev::Dma);
             }
+            if let Some(f) = self.cfg.faults {
+                if f.storm_period > 0 {
+                    self.schedule(f.storm_period, Ev::Storm);
+                }
+            }
         }
         self.poll_arbiter();
         while let Some(Reverse(qe)) = self.events.pop() {
@@ -315,6 +344,7 @@ impl<'h> Engine<'h> {
                 Ev::CommitDone { token } => self.handle_commit_done(token),
                 Ev::Irq { core } => self.handle_irq(core),
                 Ev::Dma => self.handle_dma(),
+                Ev::Storm => self.handle_storm(),
                 Ev::Poll => {}
             }
             self.poll_arbiter();
@@ -472,6 +502,33 @@ impl<'h> Engine<'h> {
         }
         if let Some(d) = self.devices.next_dma_delay() {
             self.schedule(self.now + d, Ev::Dma);
+        }
+    }
+
+    /// Injected squash storm: every `storm_period` cycles each core's
+    /// oldest not-yet-committing chunk is squashed, re-exercising the
+    /// squash/re-execute path under load. Determinism is preserved
+    /// because squashed work is simply re-executed — only the commit
+    /// order (which the log records) can shift.
+    fn handle_storm(&mut self) {
+        let Some(f) = self.cfg.faults else {
+            return;
+        };
+        if f.storm_period == 0 || self.cfg.replay {
+            return;
+        }
+        let n = self.cores.len() as u32;
+        for q in 0..n {
+            let pos = self.cores[q as usize]
+                .chunks
+                .iter()
+                .position(|ch| ch.state != ChunkState::Committing);
+            if let Some(pos) = pos {
+                self.squash_from(q, pos);
+            }
+        }
+        if !self.all_done() {
+            self.schedule(self.now + f.storm_period, Ev::Storm);
         }
     }
 
@@ -808,12 +865,23 @@ impl<'h> Engine<'h> {
             }
             vm.restore(&chunks[pos].checkpoint);
             let mut t = now;
+            let mut deferred_irqs = Vec::new();
             for i in pos..chunks.len() {
                 let (older, rest) = chunks.split_at_mut(i);
                 let chunk = &mut rest[0];
                 *attempt_ctr += 1;
                 chunk.reset_for_retry(*attempt_ctr);
                 chunk.checkpoint = vm.snapshot();
+                // Shrinking an earlier chunk shifts every younger
+                // boundary, so a boundary that held an interrupt in the
+                // previous attempt may now sit inside a handler; the
+                // platform queues interrupts while a handler runs, so
+                // detach it and requeue rather than deliver nested.
+                if !cfg.replay && vm.in_handler() {
+                    if let Some(irq) = chunk.irq.take() {
+                        deferred_irqs.push(irq);
+                    }
+                }
                 // A queued interrupt may attach at this (re-)started
                 // chunk boundary during recording.
                 if !cfg.replay && chunk.irq.is_none() && !vm.in_handler() {
@@ -841,6 +909,11 @@ impl<'h> Engine<'h> {
                     pending_irqs.push_front(irq);
                 }
             }
+            // Interrupts detached above are older than anything still
+            // queued; restore them to the front in their original order.
+            for irq in deferred_irqs.into_iter().rev() {
+                pending_irqs.push_front(irq);
+            }
         }
         for (time, attempt) in scheduled {
             self.schedule(time, Ev::Complete { core: q, attempt });
@@ -859,6 +932,7 @@ impl<'h> Engine<'h> {
                 memsys,
                 params,
                 trng,
+                frng,
                 hooks,
                 devices,
                 cfg,
@@ -921,6 +995,16 @@ impl<'h> Engine<'h> {
                 }
                 if cfg.variable_truncate_prob > 0.0 && trng.gen_bool(cfg.variable_truncate_prob) {
                     chunk.target = trng.gen_range(1..=cfg.chunk_size);
+                }
+                // Injected fault: a forced *non-deterministic* truncation.
+                // Marking the chunk shrunk makes the truncation register
+                // as a collision, which the OrderOnly/PicoLog CS log must
+                // record for replay to reproduce the chunking.
+                if let Some(f) = cfg.faults {
+                    if f.force_truncate_prob > 0.0 && frng.gen_bool(f.force_truncate_prob) {
+                        chunk.target = frng.gen_range(1..=cfg.chunk_size);
+                        chunk.shrunk = true;
+                    }
                 }
             }
             *attempt_ctr += 1;
@@ -1016,8 +1100,16 @@ fn execute_attempt(
     budget: u64,
 ) {
     chunk.start_time = now;
-    if let Some((_vector, payload)) = chunk.irq {
-        vm.deliver_interrupt(program, payload);
+    // A re-execution can reach the budget before its younger siblings
+    // re-run, leaving them empty; such chunks are dropped and their
+    // interrupt requeued, so delivering it here would fold an
+    // interrupt into the instruction stream that no committed chunk
+    // (and no log entry) accounts for.
+    let exhausted = vm.retired() >= budget || vm.halted();
+    if !exhausted {
+        if let Some((_vector, payload)) = chunk.irq {
+            vm.deliver_interrupt(program, payload);
+        }
     }
     let mut cost = 0.0f64;
     let mut io_seq = 0u32;

@@ -52,7 +52,7 @@ pub mod policy;
 mod spec;
 pub mod stats;
 
-pub use config::{DeviceConfig, EngineConfig, PerturbConfig};
+pub use config::{DeviceConfig, EngineConfig, PerturbConfig, SubstrateFaultConfig};
 pub use engine::{run, run_from, StartState};
 pub use hooks::{
     ArbiterContext, BulkScHooks, CommitRecord, Committer, ExecutionHooks, PendingView,

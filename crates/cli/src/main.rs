@@ -48,7 +48,9 @@ usage:
   delorean analyze <file> [--json] [--skip static|races|lint]... [--max-examples N]
   delorean bench [--figure figNN]... [--json PATH] [--jobs N] [--full]
                  [--baseline PATH] [--tolerance PCT] [--seed N]
-                 [--budget-div N] [--verbose]";
+                 [--budget-div N] [--verbose]
+  delorean crashtest [--seed N] [--workload NAME]... [--procs N]
+                     [--budget N] [--chunk N]";
 
 fn run(argv: &[String]) -> Result<ExitCode, String> {
     let Some(cmd) = argv.first() else {
@@ -69,6 +71,7 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         "inspect" => cmd_inspect(&args).map(|()| ExitCode::SUCCESS),
         "analyze" => cmd_analyze(&args),
         "bench" => cmd_bench(&args),
+        "crashtest" => cmd_crashtest(&args),
         other => Err(format!("unknown command {other}")),
     }
 }
@@ -322,12 +325,14 @@ fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
     let max_examples = args.num("--max-examples")?.map(|n| n as usize);
 
     // Pass 3 first: the lint works on the raw byte stream and cannot
-    // itself fail, so a corrupt file still yields a report.
+    // itself fail, so a corrupt file still yields a report. Linting
+    // the full byte image lets a damaged stream also carry the salvage
+    // account of what a recovery would preserve.
     let lint = if skip("lint") {
         None
     } else {
-        let file = File::open(&path).map_err(|e| format!("reading {path}: {e}"))?;
-        Some(delorean_analyze::lint_stream(BufReader::new(file)))
+        let bytes = std::fs::read(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        Some(delorean_analyze::lint_bytes(&bytes))
     };
 
     // The replay-based passes need decodable metadata; without it they
@@ -391,6 +396,49 @@ fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
         Ok(ExitCode::FAILURE)
     } else {
         Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// `delorean crashtest` — sweeps the fault-injection scenario matrix
+/// (workloads × modes × fault classes) and verifies the recovery
+/// invariants: every injected-fault run either replays bit-identically
+/// to ground truth on its recovered commit ranges or produces a
+/// salvage report naming the lost range. The matrix runs twice to
+/// prove the fault schedules and reports are seed-deterministic.
+/// Exits non-zero iff any invariant is violated.
+fn cmd_crashtest(args: &Args) -> Result<ExitCode, String> {
+    let mut cfg = delorean_faults::CrashtestConfig::smoke(args.num("--seed")?.unwrap_or(42));
+    if let Some(n) = args.num("--procs")? {
+        cfg.procs = n as u32;
+    }
+    if let Some(n) = args.num("--budget")? {
+        cfg.budget = n;
+    }
+    if let Some(n) = args.num("--chunk")? {
+        cfg.chunk_size = n as u32;
+    }
+    let workloads = args.get_all("--workload");
+    if !workloads.is_empty() {
+        for w in &workloads {
+            if workload::by_name(w).is_none() {
+                return Err(format!("unknown workload {w} (see `delorean list`)"));
+            }
+        }
+        cfg.workloads = workloads;
+    }
+    let report = delorean_faults::run_crashtest(&cfg)?;
+    print!("{}", report.render());
+    let again = delorean_faults::run_crashtest(&cfg)?;
+    if report.render() != again.render() {
+        println!("crashtest: FAIL (matrix is not deterministic across reruns)");
+        return Ok(ExitCode::FAILURE);
+    }
+    if report.passed() {
+        println!("crashtest: PASS (matrix deterministic across reruns)");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("crashtest: FAIL");
+        Ok(ExitCode::FAILURE)
     }
 }
 

@@ -255,6 +255,18 @@ impl<S: LogSource> ReplayInspector<S> {
             }
             chunks_done.copy_from_slice(&start.chunks_done);
         }
+        // PicoLog's predefined commit order is strict round-robin from
+        // processor 0, so under it the per-processor chunk counters
+        // differ by at most one and the next committer is the first
+        // processor still at the minimum. A replay resumed mid-round
+        // (from an interval checkpoint) must restart the cursor at that
+        // processor, not at 0.
+        let rr_cursor = chunks_done
+            .iter()
+            .copied()
+            .min()
+            .and_then(|lo| chunks_done.iter().position(|&c| c == lo))
+            .map_or(0, |p| p as u32);
         Ok(Self {
             source,
             mode,
@@ -265,7 +277,7 @@ impl<S: LogSource> ReplayInspector<S> {
             vms,
             programs,
             chunks_done,
-            rr_cursor: 0,
+            rr_cursor,
             gcc: 0,
             watches: HashSet::new(),
             collect_footprints: false,

@@ -53,6 +53,7 @@ pub mod log;
 mod machine;
 mod mode;
 mod recorder;
+pub mod recover;
 mod replayer;
 pub mod serialize;
 pub mod stratify;
@@ -63,10 +64,11 @@ pub use error::ReplayError;
 pub use machine::{Machine, MachineBuilder, Recording, ReplayReport};
 pub use mode::Mode;
 pub use recorder::{LogSet, Recorder};
+pub use recover::{RecoveringSource, Salvage, SalvageReport};
 pub use replayer::Replayer;
 pub use stream::{
     EventSegment, FileSink, FileSource, LogSink, LogSource, MemorySink, MemorySource,
-    PositionedDecodeError, SegmentWalker, StreamPosition, WalkedSegment,
+    PositionedDecodeError, SegmentWalker, SinkError, StreamPosition, WalkedSegment,
 };
 
 // Re-export the substrate types users need at the API boundary.

@@ -10,6 +10,7 @@ use crate::stratify::{StratifiedPiLog, Stratifier};
 use crate::stream::{LogSink, LogSource, MemorySink, MemorySource, StreamMeta, StreamRecorder};
 use delorean_chunk::{
     run, run_from, Committer, DeviceConfig, EngineConfig, RunStats, StartState, StateDigest,
+    SubstrateFaultConfig,
 };
 use delorean_isa::workload::{WorkloadKind, WorkloadSpec};
 use delorean_sim::RunSpec;
@@ -188,6 +189,7 @@ pub struct Machine {
     timing_seed: u64,
     overflow_noise: f64,
     simultaneous_chunks: Option<u32>,
+    substrate_faults: Option<SubstrateFaultConfig>,
 }
 
 impl Machine {
@@ -234,6 +236,7 @@ impl Machine {
         if let Some(s) = self.simultaneous_chunks {
             cfg.machine.simultaneous_chunks = s;
         }
+        cfg.faults = self.substrate_faults;
         match self.mode {
             Mode::OrderSize => cfg.variable_truncate_prob = 0.25,
             Mode::OrderOnly => {}
@@ -707,6 +710,7 @@ pub struct MachineBuilder {
     timing_seed: u64,
     overflow_noise: f64,
     simultaneous_chunks: Option<u32>,
+    substrate_faults: Option<SubstrateFaultConfig>,
 }
 
 impl Default for MachineBuilder {
@@ -720,6 +724,7 @@ impl Default for MachineBuilder {
             timing_seed: 0xd1ce,
             overflow_noise: EngineConfig::recording(1).overflow_noise,
             simultaneous_chunks: None,
+            substrate_faults: None,
         }
     }
 }
@@ -788,6 +793,16 @@ impl MachineBuilder {
         self
     }
 
+    /// Injects deterministic substrate-level faults while recording
+    /// (squash storms, forced non-deterministic truncations, device
+    /// bursts). Replay is unaffected: the recorded logs carry every
+    /// effect of the injected faults, and a faulted recording must
+    /// still replay deterministically.
+    pub fn substrate_faults(&mut self, faults: SubstrateFaultConfig) -> &mut Self {
+        self.substrate_faults = Some(faults);
+        self
+    }
+
     /// Finishes the machine.
     pub fn build(&self) -> Machine {
         Machine {
@@ -801,6 +816,7 @@ impl MachineBuilder {
             timing_seed: self.timing_seed,
             overflow_noise: self.overflow_noise,
             simultaneous_chunks: self.simultaneous_chunks,
+            substrate_faults: self.substrate_faults,
         }
     }
 }
@@ -878,6 +894,55 @@ mod tests {
         let lu = workload::by_name("lu").unwrap();
         assert!(m.recording_config(sweb).devices.irq_period > 0);
         assert_eq!(m.recording_config(lu).devices.irq_period, 0);
+    }
+
+    #[test]
+    fn faulted_recording_replays_deterministically() {
+        // The determinism invariant under substrate fault injection:
+        // storms, forced truncations and device bursts only shift what
+        // the logs record — replay (always fault-free) must still
+        // reproduce the execution bit-exactly in every mode.
+        let faults = SubstrateFaultConfig {
+            seed: 42,
+            storm_period: 2_000,
+            force_truncate_prob: 0.05,
+            device_burst: 4,
+            overflow_boost: 0.0005,
+        };
+        for mode in Mode::all() {
+            let m = Machine::builder()
+                .mode(mode)
+                .procs(2)
+                .budget(4_000)
+                .substrate_faults(faults)
+                .build();
+            let rec = m.record(workload::by_name("sweb2005").unwrap(), 3);
+            let report = m.replay(&rec).unwrap();
+            assert!(report.deterministic, "{mode}: {:?}", report.divergence);
+        }
+    }
+
+    #[test]
+    fn substrate_faults_are_deterministic_per_seed() {
+        let faults = SubstrateFaultConfig {
+            seed: 9,
+            storm_period: 1_500,
+            force_truncate_prob: 0.1,
+            device_burst: 2,
+            overflow_boost: 0.0,
+        };
+        let build = || {
+            Machine::builder()
+                .procs(2)
+                .budget(3_000)
+                .substrate_faults(faults)
+                .build()
+        };
+        let a = build().record(workload::by_name("lu").unwrap(), 5);
+        let b = build().record(workload::by_name("lu").unwrap(), 5);
+        assert_eq!(a.stats.digest, b.stats.digest);
+        assert_eq!(a.stats.squashes, b.stats.squashes);
+        assert_eq!(a.logs.pi, b.logs.pi, "identical seeds, identical logs");
     }
 
     #[test]

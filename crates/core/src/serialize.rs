@@ -41,6 +41,11 @@ pub enum DecodeError {
     UnknownWorkload(String),
     /// The underlying reader failed with an I/O error.
     Io(String),
+    /// The input is zero-length — not a recording at all.
+    Empty,
+    /// The input carries a valid header and metadata but no segments:
+    /// the recorder never wrote (or the file lost) its event stream.
+    HeaderOnly,
 }
 
 impl core::fmt::Display for DecodeError {
@@ -54,6 +59,10 @@ impl core::fmt::Display for DecodeError {
                 write!(f, "recording references unknown workload {name}")
             }
             DecodeError::Io(detail) => write!(f, "log stream read failed: {detail}"),
+            DecodeError::Empty => write!(f, "empty input: not a recording"),
+            DecodeError::HeaderOnly => {
+                write!(f, "header-only stream: valid metadata but no segments")
+            }
         }
     }
 }

@@ -24,10 +24,13 @@
 //! ```
 //!
 //! Event segments carry a commit watermark plus one LZ77 block of
-//! encoded commit events (the encoder's match window spans segments);
-//! the final segment is a trailer holding the determinism digest and
-//! run statistics. Every byte after the 14-byte frame header is covered
-//! by a checksum.
+//! encoded commit events. The sink resets its encoder's match window at
+//! every segment boundary, so each segment is independently
+//! decompressible — the property the salvage pass in
+//! [`recover`](crate::recover) relies on to resume decoding after a
+//! corrupt region. The final segment is a trailer holding the
+//! determinism digest and run statistics. Every byte after the 14-byte
+//! frame header is covered by a checksum.
 
 use crate::checkpoint::SystemCheckpoint;
 use crate::log::{CsEntry, CsLog, DmaLog, InterruptEntry, InterruptLog, IoEntry, IoLog, PiLog};
@@ -92,6 +95,42 @@ impl core::fmt::Display for PositionedDecodeError {
 
 impl std::error::Error for PositionedDecodeError {}
 
+/// Why recovering the writer from a [`FileSink`] failed.
+#[derive(Debug)]
+pub enum SinkError {
+    /// The sink was consumed without [`LogSink::finish`]: the stream
+    /// carries no trailer and would decode as truncated. Buffered
+    /// events are still flushed to the writer (by the sink's `Drop`);
+    /// use [`FileSink::abandon`] to recover the writer of an
+    /// intentionally unfinished stream.
+    UnfinishedSink,
+    /// The first I/O error latched while streaming.
+    Io(io::Error),
+}
+
+impl core::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::UnfinishedSink => {
+                write!(
+                    f,
+                    "log sink consumed without finish(): stream has no trailer"
+                )
+            }
+            Self::Io(e) => write!(f, "log sink I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SinkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::UnfinishedSink => None,
+            Self::Io(e) => Some(e),
+        }
+    }
+}
+
 const TAG_DMA: u8 = 1 << 0;
 const TAG_CS: u8 = 1 << 1;
 const TAG_IRQ: u8 = 1 << 2;
@@ -141,7 +180,7 @@ impl StreamMeta {
         }
     }
 
-    fn start_chunks(&self) -> Vec<u64> {
+    pub(crate) fn start_chunks(&self) -> Vec<u64> {
         match &self.interval {
             Some(s) => s.chunks_done.clone(),
             None => vec![0; self.n_procs as usize],
@@ -491,7 +530,7 @@ fn encode_meta(meta: &StreamMeta) -> Vec<u8> {
     w.buf
 }
 
-fn decode_meta(bytes: &[u8]) -> Result<StreamMeta, DecodeError> {
+pub(crate) fn decode_meta(bytes: &[u8]) -> Result<StreamMeta, DecodeError> {
     let mut r = Reader::new(bytes);
     let mode = mode_from(r.u8("mode")?)?;
     let n_procs = r.u32("n_procs")?;
@@ -627,7 +666,7 @@ fn decode_footprints(
     Ok((access, writes))
 }
 
-fn decode_event(
+pub(crate) fn decode_event(
     r: &mut Reader<'_>,
     mode: Mode,
     n_procs: u32,
@@ -728,7 +767,7 @@ fn encode_trailer(trailer: &StreamTrailer) -> Vec<u8> {
     w.buf
 }
 
-fn decode_trailer(bytes: &[u8], n_procs: u32) -> Result<StreamTrailer, DecodeError> {
+pub(crate) fn decode_trailer(bytes: &[u8], n_procs: u32) -> Result<StreamTrailer, DecodeError> {
     let mut r = Reader::new(bytes);
     let mem_hash = r.u64("digest mem")?;
     let mut stream_hashes = Vec::with_capacity(n_procs as usize);
@@ -796,6 +835,7 @@ pub struct FileSink<W: io::Write> {
     chunks_done: Vec<u64>,
     peak_buffered: usize,
     bytes_written: u64,
+    finished: bool,
 }
 
 impl<W: io::Write> FileSink<W> {
@@ -822,6 +862,7 @@ impl<W: io::Write> FileSink<W> {
             chunks_done: Vec::new(),
             peak_buffered: 0,
             bytes_written: 0,
+            finished: false,
         }
     }
 
@@ -845,13 +886,44 @@ impl<W: io::Write> FileSink<W> {
     ///
     /// # Errors
     ///
-    /// Returns the latched [`io::Error`] if any write failed.
-    pub fn into_inner(mut self) -> io::Result<W> {
-        match (self.error.take(), self.out.take()) {
-            (Some(e), _) => Err(e),
-            (None, Some(w)) => Ok(w),
+    /// Returns [`SinkError::Io`] with the latched error if any write
+    /// failed, and [`SinkError::UnfinishedSink`] if the sink never saw
+    /// [`LogSink::finish`] — such a stream has no trailer and decodes
+    /// as truncated, so handing the writer back silently would bless a
+    /// corrupt log. Buffered events are still flushed to the writer by
+    /// the sink's `Drop`; a caller that *wants* a trailer-less stream
+    /// uses [`FileSink::abandon`] instead.
+    pub fn into_inner(mut self) -> Result<W, SinkError> {
+        if let Some(e) = self.error.take() {
+            return Err(SinkError::Io(e));
+        }
+        if !self.finished && self.out.is_some() {
+            return Err(SinkError::UnfinishedSink);
+        }
+        match self.out.take() {
+            Some(w) => Ok(w),
             // Unreachable: the writer is only dropped when an error is
             // latched, but a `None` here must not panic a log sink.
+            None => Err(SinkError::Io(io::Error::other("log writer already taken"))),
+        }
+    }
+
+    /// Flushes buffered events as a final segment and recovers the
+    /// writer *without* requiring [`LogSink::finish`] — the stream is
+    /// intentionally left trailer-less and decodes as truncated.
+    /// Exists for crash simulation and truncation tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched [`io::Error`] if any write failed.
+    pub fn abandon(mut self) -> io::Result<W> {
+        self.flush_segment();
+        match (self.error.take(), self.out.take()) {
+            (Some(e), _) => Err(e),
+            (None, Some(mut w)) => {
+                w.flush()?;
+                Ok(w)
+            }
             (None, None) => Err(io::Error::other("log writer already taken")),
         }
     }
@@ -894,15 +966,41 @@ impl<W: io::Write> FileSink<W> {
         }
         body.u32(self.events_pending);
         let block = self.encoder.flush_block();
+        // Window barrier: drop the encoder's match history so the next
+        // segment's block is decodable with a fresh decoder. A block
+        // encoded against empty history only references bytes within
+        // itself, so existing decoders (which keep history) are
+        // unaffected — but a salvage pass can now re-enter the stream
+        // at any segment boundary after a corrupt region.
+        self.encoder = delorean_compress::lz77::Encoder::new();
         body.buf.extend_from_slice(&block);
         self.events_pending = 0;
         self.emit_segment(SEG_EVENTS, &body.buf);
     }
 }
 
+impl<W: io::Write> Drop for FileSink<W> {
+    fn drop(&mut self) {
+        if self.finished || self.out.is_none() {
+            return;
+        }
+        // Last-resort flush: a sink dropped without finish() must not
+        // silently discard buffered commits — push them out as a final
+        // segment (the stream still lacks a trailer and decodes as
+        // truncated, but every committed event reaches the writer).
+        self.flush_segment();
+        if self.error.is_none() {
+            if let Some(out) = self.out.as_mut() {
+                let _ = out.flush();
+            }
+        }
+    }
+}
+
 impl<W: io::Write> LogSink for FileSink<W> {
     fn begin(&mut self, meta: &StreamMeta) {
         self.has_pi = meta.mode.has_pi_log();
+        self.finished = false;
         self.commits = 0;
         self.chunks_done = meta.start_chunks();
         self.events_pending = 0;
@@ -945,6 +1043,7 @@ impl<W: io::Write> LogSink for FileSink<W> {
                 }
             }
         }
+        self.finished = true;
     }
 }
 
@@ -1221,7 +1320,7 @@ impl LogSource for MemorySource<'_> {
 
 /// Per-core queue of not-yet-consumed I/O log entries: chunk index plus
 /// that chunk's `(port, value)` loads.
-type IoQueue = VecDeque<(u64, Vec<(u16, Word)>)>;
+pub(crate) type IoQueue = VecDeque<(u64, Vec<(u16, Word)>)>;
 
 /// The decoded payload of one event segment, including the watermarks
 /// the segment header declares (used by lint passes to cross-check
@@ -1254,6 +1353,22 @@ fn read_exact_or<R: Read>(
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(DecodeError::Truncated(what)),
         Err(e) => Err(DecodeError::Io(e.to_string())),
     }
+}
+
+/// Reads as many bytes as the reader will give, up to `buf.len()`,
+/// returning the count — lets the header parser distinguish an empty
+/// input from a mid-magic truncation.
+fn read_up_to<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, DecodeError> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(DecodeError::Io(e.to_string())),
+        }
+    }
+    Ok(got)
 }
 
 fn read_body<R: Read>(r: &mut R, len: u64, what: &'static str) -> Result<Vec<u8>, DecodeError> {
@@ -1291,9 +1406,19 @@ fn le_bytes<const N: usize>(b: &[u8]) -> [u8; N] {
 impl<R: Read> SegmentDecoder<R> {
     fn open(mut reader: R) -> Result<Self, DecodeError> {
         let mut head = [0u8; 14];
-        read_exact_or(&mut reader, &mut head, "file header")?;
+        let got = read_up_to(&mut reader, &mut head)?;
+        if got == 0 {
+            return Err(DecodeError::Empty);
+        }
+        if got < 4 {
+            // Not even a whole magic number survived.
+            return Err(DecodeError::Truncated("file magic"));
+        }
         if u32::from_le_bytes(le_bytes(&head[0..4])) != MAGIC {
             return Err(DecodeError::BadMagic);
+        }
+        if got < head.len() {
+            return Err(DecodeError::Truncated("file header"));
         }
         let version = u16::from_le_bytes(le_bytes(&head[4..6]));
         if version != VERSION {
@@ -1355,6 +1480,11 @@ impl<R: Read> SegmentDecoder<R> {
                 self.done = true;
                 if self.seen_trailer {
                     return Ok(Segment::End);
+                }
+                if self.segments == 0 && self.gcc == 0 {
+                    // Valid header, then nothing: a header-only stream,
+                    // not a mid-log truncation.
+                    return Err(DecodeError::HeaderOnly);
                 }
                 return Err(DecodeError::Truncated("missing trailer segment"));
             }
@@ -1912,10 +2042,131 @@ mod tests {
         let mut bridge = CommitBridge::new(Mode::OrderOnly, 2);
         sink.on_event(&bridge.convert(&proc_record(0, 1)));
         // No finish(): the stream has an event segment but no trailer.
-        let bytes = sink.into_inner().unwrap();
+        let bytes = sink.abandon().unwrap();
         let mut src = FileSource::open(&bytes[..]).unwrap();
         assert_eq!(src.pi_peek(), Some(Committer::Proc(0)));
         let err = src.finish().unwrap_err();
         assert!(err.contains("trailer"), "{err}");
+    }
+
+    #[test]
+    fn unfinished_sink_is_a_typed_error() {
+        let mut sink = FileSink::new(Vec::new());
+        sink.begin(&test_meta(Mode::OrderOnly, 2));
+        let mut bridge = CommitBridge::new(Mode::OrderOnly, 2);
+        sink.on_event(&bridge.convert(&proc_record(0, 1)));
+        let err = sink.into_inner().unwrap_err();
+        assert!(matches!(err, SinkError::UnfinishedSink), "{err:?}");
+        assert!(err.to_string().contains("finish"), "{err}");
+    }
+
+    #[test]
+    fn dropped_sink_flushes_buffered_commits() {
+        // A sink writing through a shared buffer so the bytes survive
+        // the sink being dropped mid-stream.
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Shared(Rc<RefCell<Vec<u8>>>);
+        impl io::Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Rc::new(RefCell::new(Vec::new()));
+        let mut bridge = CommitBridge::new(Mode::OrderOnly, 2);
+        let before;
+        {
+            // Large flush granularity: the event stays buffered in the
+            // encoder until the drop.
+            let mut sink = FileSink::with_flush_every(Shared(Rc::clone(&buf)), 1024);
+            sink.begin(&test_meta(Mode::OrderOnly, 2));
+            before = buf.borrow().len();
+            sink.on_event(&bridge.convert(&proc_record(0, 1)));
+            assert_eq!(buf.borrow().len(), before, "event still buffered");
+        }
+        assert!(
+            buf.borrow().len() > before,
+            "drop must flush the buffered commit"
+        );
+        // The flushed bytes decode: the event is there, only the
+        // trailer is missing.
+        let bytes = buf.borrow().clone();
+        let mut src = FileSource::open(&bytes[..]).unwrap();
+        assert_eq!(src.pi_peek(), Some(Committer::Proc(0)));
+        assert!(src.finish().unwrap_err().contains("trailer"));
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors() {
+        // Empty input.
+        assert!(matches!(
+            FileSource::open(&[][..]).unwrap_err(),
+            DecodeError::Empty
+        ));
+        // Mid-magic truncation: fewer bytes than the magic number.
+        let magic = MAGIC.to_le_bytes();
+        assert!(matches!(
+            FileSource::open(&magic[..2]).unwrap_err(),
+            DecodeError::Truncated("file magic")
+        ));
+        // Magic intact but the fixed header cut short.
+        let mut head = Vec::from(magic);
+        head.extend_from_slice(&VERSION.to_le_bytes());
+        assert!(matches!(
+            FileSource::open(&head[..]).unwrap_err(),
+            DecodeError::Truncated("file header")
+        ));
+        // Header-only: a valid header and metadata, then nothing.
+        let mut sink = FileSink::new(Vec::new());
+        sink.begin(&test_meta(Mode::OrderOnly, 2));
+        let bytes = sink.abandon().unwrap();
+        let mut src = FileSource::open(&bytes[..]).unwrap();
+        let err = src.finish().unwrap_err();
+        assert!(err.contains("header"), "{err}");
+    }
+
+    #[test]
+    fn segments_decode_with_a_fresh_decoder() {
+        // The window barrier guarantees every segment's LZ77 block is
+        // independently decompressible: decode the *second* segment's
+        // events with a decoder that never saw the first.
+        let mut sink = FileSink::with_flush_every(Vec::new(), 1);
+        sink.begin(&test_meta(Mode::OrderOnly, 2));
+        let mut bridge = CommitBridge::new(Mode::OrderOnly, 2);
+        // Identical payloads so a window *spanning* segments would
+        // reach back into the first block.
+        sink.on_event(&bridge.convert(&proc_record(0, 1)));
+        sink.on_event(&bridge.convert(&proc_record(0, 2)));
+        let bytes = sink.abandon().unwrap();
+
+        // Walk the raw frames to find the second event segment.
+        let meta_len = u64::from_le_bytes(le_bytes(&bytes[14..22])) as usize;
+        let mut pos = 14 + 8 + meta_len;
+        let mut bodies = Vec::new();
+        while pos < bytes.len() {
+            let body_len = u64::from_le_bytes(le_bytes(&bytes[pos + 1..pos + 9])) as usize;
+            bodies.push(&bytes[pos + 17..pos + 17 + body_len]);
+            pos += 17 + body_len;
+        }
+        assert_eq!(bodies.len(), 2);
+        let body = bodies[1];
+        let mut r = Reader::new(body);
+        r.u64("watermark").unwrap();
+        r.u64("chunks 0").unwrap();
+        r.u64("chunks 1").unwrap();
+        let count = r.u32("count").unwrap();
+        assert_eq!(count, 1);
+        let raw = delorean_compress::lz77::Decoder::new()
+            .decode_block(&body[r.pos..])
+            .expect("second segment must decode with empty history");
+        let mut counters = vec![1u64, 0];
+        let mut er = Reader::new(&raw);
+        let ev = decode_event(&mut er, Mode::OrderOnly, 2, &mut counters).unwrap();
+        assert_eq!(ev.committer, Committer::Proc(0));
+        assert_eq!(ev.chunk_index, 2);
     }
 }
