@@ -475,6 +475,9 @@ mod tests {
             chunk_index,
             size: 1,
             interrupt: false,
+            truncation: delorean_chunk::TruncationReason::StandardSize,
+            io_loads: 0,
+            dma_words: 0,
             watch_hits: Vec::new(),
             read_lines,
             write_lines,

@@ -81,6 +81,42 @@ fn record_pipelines(c: &mut Criterion) {
     g.finish();
 }
 
+/// The `Session` pipeline's disabled-trace path: `Machine::record` is
+/// a stage-less session, so `direct` and `session_no_stage` should be
+/// indistinguishable, and stacking no-op stages should cost only the
+/// per-event fan-out loop.
+fn session_overhead(c: &mut Criterion) {
+    use delorean::{HookStage, NoopStage};
+    let mut g = c.benchmark_group("session");
+    let budget = 10_000u64;
+    let procs = 4u32;
+    let w = workload::by_name("barnes").unwrap();
+    let m = Machine::builder()
+        .mode(Mode::OrderOnly)
+        .procs(procs)
+        .budget(budget)
+        .build();
+    g.throughput(Throughput::Elements(budget * u64::from(procs)));
+    g.bench_function("direct_barnes_4p", |b| b.iter(|| black_box(m.record(w, 7))));
+    g.bench_function("session_no_stage_barnes_4p", |b| {
+        b.iter(|| black_box(m.session().record(w, 7)))
+    });
+    g.bench_function("session_noop_stages_barnes_4p", |b| {
+        b.iter(|| {
+            let mut s1 = NoopStage;
+            let mut s2 = NoopStage;
+            let mut s3 = NoopStage;
+            let session = m
+                .session()
+                .with_stage(&mut s1 as &mut dyn HookStage)
+                .with_stage(&mut s2)
+                .with_stage(&mut s3);
+            black_box(session.record(w, 7))
+        })
+    });
+    g.finish();
+}
+
 fn lz77_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("lz77");
     // A PI-log-like repetitive stream.
@@ -119,6 +155,6 @@ fn signature_ops(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = engine_throughput, record_pipelines, lz77_throughput, signature_ops
+    targets = engine_throughput, record_pipelines, session_overhead, lz77_throughput, signature_ops
 }
 criterion_main!(benches);

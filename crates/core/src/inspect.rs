@@ -41,7 +41,7 @@
 use crate::machine::Recording;
 use crate::mode::Mode;
 use crate::stream::{LogSource, MemorySource};
-use delorean_chunk::Committer;
+use delorean_chunk::{Committer, SubstrateEvent, TruncationReason};
 use delorean_isa::layout::AddressMap;
 use delorean_isa::{Addr, DataMemory, IoBus, Program, StepKind, Vm, Word};
 use delorean_mem::Memory;
@@ -69,8 +69,17 @@ pub struct CommitEvent {
     pub chunk_index: u64,
     /// Instructions in the chunk (0 for DMA).
     pub size: u32,
+    /// Why the chunk ended where it did, as the software replay
+    /// re-derives it. The wire does not preserve the recording-side
+    /// reason: CS-forced sizes (the logged non-deterministic
+    /// truncations) all decode as [`TruncationReason::Overflow`].
+    pub truncation: TruncationReason,
     /// Whether an interrupt was delivered at this chunk's start.
     pub interrupt: bool,
+    /// Uncached I/O loads the chunk performed.
+    pub io_loads: u32,
+    /// DMA payload words (0 for processor commits).
+    pub dma_words: u32,
     /// Writes to watched addresses whose value changed.
     pub watch_hits: Vec<WatchHit>,
     /// Cache lines the chunk read, sorted (only populated when
@@ -80,6 +89,24 @@ pub struct CommitEvent {
     /// Cache lines the chunk (or DMA transfer) wrote, sorted (only
     /// populated when footprint collection is enabled).
     pub write_lines: Vec<u64>,
+}
+
+impl CommitEvent {
+    /// This commit as the substrate's typed commit event — the same
+    /// schema the `Session` pipeline emits, so inspection output and
+    /// session traces serialize through one code path.
+    pub fn to_substrate(&self) -> SubstrateEvent {
+        SubstrateEvent::Commit {
+            committer: self.committer,
+            chunk_index: self.chunk_index,
+            size: self.size,
+            truncation: self.truncation,
+            global_slot: self.gcc,
+            interrupt: self.interrupt,
+            io_loads: self.io_loads,
+            dma_words: self.dma_words,
+        }
+    }
 }
 
 /// Why inspection failed.
@@ -409,7 +436,10 @@ impl<S: LogSource> ReplayInspector<S> {
                     committer,
                     chunk_index: 0,
                     size: 0,
+                    truncation: TruncationReason::StandardSize,
                     interrupt: false,
+                    io_loads: 0,
+                    dma_words: data.len() as u32,
                     watch_hits: hits,
                     read_lines: Vec::new(),
                     write_lines: sorted(write_lines),
@@ -438,7 +468,8 @@ impl<S: LogSource> ReplayInspector<S> {
         }
         let index = self.chunks_done[pi] + 1;
         let budget = self.budget;
-        let target = self.source.forced_size(p, index).unwrap_or(self.chunk_size);
+        let forced = self.source.forced_size(p, index);
+        let target = forced.unwrap_or(self.chunk_size);
         let interrupt = self.source.interrupt_at(p, index);
         let vm = &mut self.vms[pi];
         let program = &self.programs[pi];
@@ -469,23 +500,38 @@ impl<S: LogSource> ReplayInspector<S> {
             footprints: footprints.as_mut(),
         };
         let mut size = 0u32;
+        // A chunk cut short of the standard size by its (logged) target
+        // was non-deterministically truncated when recorded; uncached
+        // stops re-derive themselves below before the target is hit.
+        let mut truncation = if target < self.chunk_size {
+            TruncationReason::Overflow
+        } else {
+            TruncationReason::StandardSize
+        };
         loop {
             if size >= target {
                 break;
             }
             if vm.retired() >= budget || vm.halted() {
+                truncation = TruncationReason::BudgetEnd;
                 break;
             }
-            let Some(&inst) = vm.peek(program) else { break };
+            let Some(&inst) = vm.peek(program) else {
+                truncation = TruncationReason::BudgetEnd;
+                break;
+            };
             if inst.is_uncached() && size > 0 {
+                truncation = TruncationReason::Uncached;
                 break;
             }
             let info = vm.step(program, &mut mem, &mut io);
             size += 1;
             if info.kind == StepKind::Uncached {
+                truncation = TruncationReason::Uncached;
                 break; // solo uncached chunk
             }
         }
+        let io_loads = io.seq;
         if io.missing {
             return Err(InspectError::at(
                 self.gcc + 1,
@@ -514,7 +560,10 @@ impl<S: LogSource> ReplayInspector<S> {
             committer: Committer::Proc(p),
             chunk_index: index,
             size,
+            truncation,
             interrupt: interrupt.is_some(),
+            io_loads,
+            dma_words: 0,
             watch_hits,
             read_lines,
             write_lines,

@@ -56,6 +56,7 @@ mod recorder;
 pub mod recover;
 mod replayer;
 pub mod serialize;
+mod session;
 pub mod stratify;
 pub mod stream;
 mod wire;
@@ -66,11 +67,15 @@ pub use mode::Mode;
 pub use recorder::{LogSet, Recorder};
 pub use recover::{RecoveringSource, Salvage, SalvageReport};
 pub use replayer::Replayer;
+pub use session::{HookStage, NoopStage, Session};
 pub use stream::{
     EventSegment, FileSink, FileSource, LogSink, LogSource, MemorySink, MemorySource,
     PositionedDecodeError, SegmentWalker, SinkError, StreamPosition, WalkedSegment,
 };
 
 // Re-export the substrate types users need at the API boundary.
-pub use delorean_chunk::{RunStats, StateDigest};
+pub use delorean_chunk::{
+    EventObserver, GrantPolicy, HookStack, ModeDriver, ReplayFeed, RunStats, StateDigest,
+    SubstrateEvent,
+};
 pub use delorean_isa::workload::WorkloadSpec;

@@ -5,12 +5,11 @@ use crate::error::ReplayError;
 use crate::log::MemoryOrderingSizes;
 use crate::mode::Mode;
 use crate::recorder::LogSet;
-use crate::replayer::Replayer;
+use crate::session::Session;
 use crate::stratify::{StratifiedPiLog, Stratifier};
-use crate::stream::{LogSink, LogSource, MemorySink, MemorySource, StreamMeta, StreamRecorder};
+use crate::stream::{LogSink, LogSource, MemorySink, MemorySource};
 use delorean_chunk::{
-    run, run_from, Committer, DeviceConfig, EngineConfig, RunStats, StartState, StateDigest,
-    SubstrateFaultConfig,
+    Committer, DeviceConfig, EngineConfig, RunStats, StartState, StateDigest, SubstrateFaultConfig,
 };
 use delorean_isa::workload::{WorkloadKind, WorkloadSpec};
 use delorean_sim::RunSpec;
@@ -116,7 +115,7 @@ impl Recording {
         s.finish()
     }
 
-    fn run_spec(&self) -> RunSpec {
+    pub(crate) fn run_spec(&self) -> RunSpec {
         RunSpec::new(self.workload, self.n_procs, self.app_seed, self.budget)
     }
 
@@ -250,15 +249,18 @@ impl Machine {
         cfg
     }
 
+    /// A stage-less [`Session`] over this machine — the composable
+    /// pipeline behind every record/replay entry point. Stack
+    /// [`HookStage`](crate::HookStage)s with
+    /// [`Session::with_stage`] to observe the run's
+    /// [`SubstrateEvent`](crate::SubstrateEvent) stream.
+    pub fn session<'s>(&self) -> Session<'_, 's> {
+        Session::new(self)
+    }
+
     /// Records one execution of `workload` seeded by `app_seed`.
-    // Infallible: `record_to` always drives the sink through begin,
-    // events and trailer, after which `into_recording` is `Some`.
-    #[allow(clippy::expect_used)]
     pub fn record(&self, workload: &WorkloadSpec, app_seed: u64) -> Recording {
-        let mut sink = MemorySink::new();
-        self.record_to(workload, app_seed, &mut sink);
-        sink.into_recording()
-            .expect("an in-memory recording always completes")
+        self.session().record(workload, app_seed)
     }
 
     /// Records one execution of `workload`, streaming every commit into
@@ -274,23 +276,7 @@ impl Machine {
         app_seed: u64,
         sink: &mut S,
     ) -> RunStats {
-        let cfg = self.recording_config(workload);
-        let checkpoint = SystemCheckpoint::initial(workload, self.n_procs, app_seed);
-        sink.begin(&StreamMeta {
-            mode: self.mode,
-            n_procs: self.n_procs,
-            chunk_size: self.chunk_size,
-            budget: self.budget,
-            workload: *workload,
-            app_seed,
-            devices: cfg.devices,
-            initial_mem_hash: checkpoint.initial_mem_hash,
-            interval: None,
-        });
-        let spec = RunSpec::new(*workload, self.n_procs, app_seed, self.budget);
-        let mut recorder = StreamRecorder::new(self.mode, self.n_procs, sink);
-        // The engine delivers the trailer through `on_run_end`.
-        run(&spec, &cfg, &mut recorder)
+        self.session().record_to(workload, app_seed, sink)
     }
 
     /// Records a new interval starting from a mid-execution checkpoint:
@@ -341,33 +327,10 @@ impl Machine {
         extra_budget: u64,
         sink: &mut S,
     ) -> Result<RunStats, ReplayError> {
-        assert!(extra_budget > 0, "extra budget must be positive");
-        if ck.n_procs != self.n_procs {
-            return Err(ReplayError::MachineMismatch {
-                recorded: ck.n_procs,
-                replaying: self.n_procs,
-            });
-        }
-        let budget = ck.max_retired() + extra_budget;
-        let cfg = self.recording_config(&ck.workload);
-        let checkpoint = SystemCheckpoint::initial(&ck.workload, self.n_procs, ck.app_seed);
-        sink.begin(&StreamMeta {
-            mode: self.mode,
-            n_procs: self.n_procs,
-            chunk_size: self.chunk_size,
-            budget,
-            workload: ck.workload,
-            app_seed: ck.app_seed,
-            devices: cfg.devices,
-            initial_mem_hash: checkpoint.initial_mem_hash,
-            interval: Some(ck.state.clone()),
-        });
-        let spec = RunSpec::new(ck.workload, self.n_procs, ck.app_seed, budget);
-        let mut recorder = StreamRecorder::new(self.mode, self.n_procs, sink);
-        Ok(run_from(&spec, &cfg, &mut recorder, &ck.state))
+        self.session().record_interval_to(ck, extra_budget, sink)
     }
 
-    fn check_shape(&self, recording: &Recording) -> Result<(), ReplayError> {
+    pub(crate) fn check_shape(&self, recording: &Recording) -> Result<(), ReplayError> {
         if recording.n_procs != self.n_procs {
             return Err(ReplayError::MachineMismatch {
                 recorded: recording.n_procs,
@@ -383,7 +346,7 @@ impl Machine {
         Ok(())
     }
 
-    fn replay_config_for(
+    pub(crate) fn replay_config_for(
         &self,
         workload: &WorkloadSpec,
         chunk_size: u32,
@@ -400,15 +363,6 @@ impl Machine {
         // through the same penalized path.
         cfg.grant_gap = cfg.grant_gap * 5 / 3;
         cfg
-    }
-
-    fn replay_config(&self, recording: &Recording, timing_seed: u64) -> EngineConfig {
-        self.replay_config_for(
-            &recording.workload,
-            recording.chunk_size,
-            recording.devices,
-            timing_seed,
-        )
     }
 
     /// Replays `recording` with a perturbed timing seed derived from
@@ -461,72 +415,7 @@ impl Machine {
         source: S,
         timing_seed: u64,
     ) -> Result<ReplayReport, ReplayError> {
-        let Some(meta) = source.meta() else {
-            return Err(ReplayError::Source {
-                detail: "log source carries no recording metadata".to_string(),
-            });
-        };
-        if meta.n_procs != self.n_procs {
-            return Err(ReplayError::MachineMismatch {
-                recorded: meta.n_procs,
-                replaying: self.n_procs,
-            });
-        }
-        if meta.mode != self.mode {
-            return Err(ReplayError::ModeMismatch {
-                recorded: meta.mode,
-                replaying: self.mode,
-            });
-        }
-        let cfg =
-            self.replay_config_for(&meta.workload, meta.chunk_size, meta.devices, timing_seed);
-        let spec = RunSpec::new(meta.workload, self.n_procs, meta.app_seed, meta.budget);
-        let interval = meta.interval.clone();
-        let mut replayer = Replayer::from_source(source);
-        // A corrupt or truncated stream can starve the engine of
-        // grants, which it reports by panicking ("engine deadlock");
-        // surface that as a stream error rather than crashing. The
-        // default panic hook would still print a backtrace before
-        // `catch_unwind` recovers, so silence it around the guarded
-        // run. The guard refcounts a process-global swap, so concurrent
-        // replays (e.g. a verification fan-out) stay race-free.
-        let outcome = {
-            let _silence = panic_silence::silence();
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &interval {
-                Some(start) => run_from(&spec, &cfg, &mut replayer, start),
-                None => run(&spec, &cfg, &mut replayer),
-            }))
-        };
-        let (mut source, mut divergence) = replayer.into_parts();
-        let stats = match outcome {
-            Ok(stats) => stats,
-            Err(_) => {
-                let detail = source
-                    .error()
-                    .map(str::to_string)
-                    .or(divergence)
-                    .unwrap_or_else(|| {
-                        "engine deadlocked on an inconsistent log stream".to_string()
-                    });
-                return Err(ReplayError::Source { detail });
-            }
-        };
-        if let Some(e) = source.error() {
-            return Err(ReplayError::Source {
-                detail: e.to_string(),
-            });
-        }
-        let trailer = source
-            .finish()
-            .map_err(|detail| ReplayError::Source { detail })?;
-        if divergence.is_none() && stats.digest != trailer.stats.digest {
-            divergence = Some(first_digest_mismatch(&trailer.stats.digest, &stats.digest));
-        }
-        Ok(ReplayReport {
-            deterministic: divergence.is_none(),
-            divergence,
-            stats,
-        })
+        self.session().replay_from(source, timing_seed)
     }
 
     /// Replays `recording` once per seed in `seeds` — the paper's
@@ -597,15 +486,8 @@ impl Machine {
         max_per_stratum: u32,
         timing_seed: u64,
     ) -> Result<ReplayReport, ReplayError> {
-        self.check_shape(recording)?;
-        let strat = recording.stratified_pi(max_per_stratum);
-        let cfg = self.replay_config(recording, timing_seed);
-        let mut replayer = Replayer::stratified(self.mode, self.n_procs, &recording.logs, &strat);
-        let stats = match &recording.interval {
-            Some(start) => run_from(&recording.run_spec(), &cfg, &mut replayer, start),
-            None => run(&recording.run_spec(), &cfg, &mut replayer),
-        };
-        Ok(report(recording, stats, replayer.into_divergence()))
+        self.session()
+            .replay_stratified(recording, max_per_stratum, timing_seed)
     }
 }
 
@@ -618,7 +500,7 @@ impl Machine {
 /// capture the silent hook as "previous" and leak it). The guard keeps
 /// a depth count: the first enterer swaps the silent hook in, the last
 /// leaver restores the original.
-mod panic_silence {
+pub(crate) mod panic_silence {
     use std::panic::PanicHookInfo;
     use std::sync::Mutex;
 
@@ -658,45 +540,6 @@ mod panic_silence {
             }
         }
     }
-}
-
-fn report(recording: &Recording, stats: RunStats, divergence: Option<String>) -> ReplayReport {
-    let mut divergence = divergence;
-    if divergence.is_none() && stats.digest != recording.stats.digest {
-        divergence = Some(first_digest_mismatch(
-            &recording.stats.digest,
-            &stats.digest,
-        ));
-    }
-    ReplayReport {
-        deterministic: divergence.is_none(),
-        divergence,
-        stats,
-    }
-}
-
-fn first_digest_mismatch(rec: &StateDigest, rep: &StateDigest) -> String {
-    if rec.mem_hash != rep.mem_hash {
-        return "final memory contents differ".to_string();
-    }
-    if rec.retired != rep.retired {
-        return format!(
-            "retired counts differ: {:?} vs {:?}",
-            rec.retired, rep.retired
-        );
-    }
-    if rec.committed_chunks != rep.committed_chunks {
-        return format!(
-            "chunk counts differ: {:?} vs {:?}",
-            rec.committed_chunks, rep.committed_chunks
-        );
-    }
-    for (i, (a, b)) in rec.stream_hashes.iter().zip(&rep.stream_hashes).enumerate() {
-        if a != b {
-            return format!("instruction stream of processor {i} differs");
-        }
-    }
-    "digests differ".to_string()
 }
 
 /// Builder for [`Machine`].

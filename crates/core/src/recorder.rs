@@ -4,7 +4,9 @@
 use crate::log::{CsLog, DmaLog, InterruptLog, IoLog, PiLog};
 use crate::mode::Mode;
 use crate::stream::{CommitBridge, LogSink, MemorySink};
-use delorean_chunk::{ArbiterContext, CommitRecord, Committer, ExecutionHooks};
+use delorean_chunk::{
+    ArbiterContext, CommitRecord, Committer, EventObserver, ExecutionHooks, GrantPolicy, ReplayFeed,
+};
 
 /// Every log produced by one recording.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,14 +77,28 @@ impl Recorder {
     }
 }
 
-impl ExecutionHooks for Recorder {
+impl GrantPolicy for Recorder {
     fn next_grant(&mut self, ctx: &ArbiterContext<'_>) -> Option<Committer> {
         self.bridge.next_grant(ctx)
     }
+}
 
+impl ReplayFeed for Recorder {}
+
+impl EventObserver for Recorder {
     fn on_commit(&mut self, rec: &CommitRecord) {
         let event = self.bridge.convert(rec);
         self.sink.on_event(&event);
+    }
+}
+
+impl ExecutionHooks for Recorder {
+    fn next_grant(&mut self, ctx: &ArbiterContext<'_>) -> Option<Committer> {
+        GrantPolicy::next_grant(self, ctx)
+    }
+
+    fn on_commit(&mut self, rec: &CommitRecord) {
+        EventObserver::on_commit(self, rec);
     }
 }
 
@@ -112,10 +128,10 @@ mod tests {
     #[test]
     fn order_only_logs_only_nondeterministic_sizes() {
         let mut r = Recorder::new(Mode::OrderOnly, 2, 1000);
-        r.on_commit(&commit(0, 1, 1000, TruncationReason::StandardSize));
-        r.on_commit(&commit(0, 2, 412, TruncationReason::Overflow));
-        r.on_commit(&commit(1, 1, 300, TruncationReason::Uncached));
-        r.on_commit(&commit(1, 2, 99, TruncationReason::Collision));
+        EventObserver::on_commit(&mut r, &commit(0, 1, 1000, TruncationReason::StandardSize));
+        EventObserver::on_commit(&mut r, &commit(0, 2, 412, TruncationReason::Overflow));
+        EventObserver::on_commit(&mut r, &commit(1, 1, 300, TruncationReason::Uncached));
+        EventObserver::on_commit(&mut r, &commit(1, 2, 99, TruncationReason::Collision));
         let logs = r.into_logs();
         assert_eq!(logs.pi.len(), 4);
         assert_eq!(logs.cs[0].len(), 1);
@@ -127,8 +143,8 @@ mod tests {
     #[test]
     fn order_size_logs_every_size() {
         let mut r = Recorder::new(Mode::OrderSize, 1, 1000);
-        r.on_commit(&commit(0, 1, 1000, TruncationReason::StandardSize));
-        r.on_commit(&commit(0, 2, 17, TruncationReason::StandardSize));
+        EventObserver::on_commit(&mut r, &commit(0, 1, 1000, TruncationReason::StandardSize));
+        EventObserver::on_commit(&mut r, &commit(0, 2, 17, TruncationReason::StandardSize));
         let logs = r.into_logs();
         assert_eq!(logs.cs[0].len(), 2);
         assert_eq!(logs.cs[0].forced_size(2), Some(17));
@@ -137,7 +153,7 @@ mod tests {
     #[test]
     fn picolog_has_no_pi_but_records_dma_slots() {
         let mut r = Recorder::new(Mode::PicoLog, 2, 1000);
-        r.on_commit(&commit(0, 1, 1000, TruncationReason::StandardSize));
+        EventObserver::on_commit(&mut r, &commit(0, 1, 1000, TruncationReason::StandardSize));
         let dma = CommitRecord {
             committer: Committer::Dma,
             chunk_index: 0,
@@ -150,7 +166,7 @@ mod tests {
             access_lines: vec![1],
             write_lines: vec![1],
         };
-        r.on_commit(&dma);
+        EventObserver::on_commit(&mut r, &dma);
         let logs = r.into_logs();
         assert!(logs.pi.is_empty());
         assert_eq!(logs.dma.slot(0), Some(1));
@@ -163,7 +179,7 @@ mod tests {
         let mut rec = commit(0, 3, 1000, TruncationReason::StandardSize);
         rec.interrupt = Some((2, 0xfeed));
         rec.io_values = vec![(1, 42)];
-        r.on_commit(&rec);
+        EventObserver::on_commit(&mut r, &rec);
         let logs = r.into_logs();
         assert_eq!(logs.interrupts[0].at_chunk(3), Some((2, 0xfeed)));
         assert_eq!(logs.io[0].value(3, 0), Some(42));

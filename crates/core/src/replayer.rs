@@ -5,7 +5,10 @@ use crate::mode::Mode;
 use crate::recorder::LogSet;
 use crate::stratify::StratifiedPiLog;
 use crate::stream::{LogSource, MemorySource};
-use delorean_chunk::{policy, ArbiterContext, CommitRecord, Committer, ExecutionHooks};
+use delorean_chunk::{
+    policy, ArbiterContext, CommitRecord, Committer, EventObserver, ExecutionHooks, GrantPolicy,
+    ReplayFeed,
+};
 use delorean_isa::{Addr, Word};
 
 #[derive(Debug)]
@@ -123,7 +126,7 @@ impl<S: LogSource> Replayer<S> {
     }
 }
 
-impl<S: LogSource> ExecutionHooks for Replayer<S> {
+impl<S: LogSource> GrantPolicy for Replayer<S> {
     fn next_grant(&mut self, ctx: &ArbiterContext<'_>) -> Option<Committer> {
         match self.mode {
             Mode::PicoLog => {
@@ -162,7 +165,9 @@ impl<S: LogSource> ExecutionHooks for Replayer<S> {
             }
         }
     }
+}
 
+impl<S: LogSource> EventObserver for Replayer<S> {
     fn on_commit(&mut self, rec: &CommitRecord) {
         let col = match rec.committer {
             Committer::Proc(p) => p as usize,
@@ -198,7 +203,9 @@ impl<S: LogSource> ExecutionHooks for Replayer<S> {
         self.pi_pos += 1;
         self.source.note_commit(rec.committer);
     }
+}
 
+impl<S: LogSource> ReplayFeed for Replayer<S> {
     fn forced_chunk_size(&mut self, core: u32, index: u64) -> Option<u32> {
         self.source.forced_size(core, index)
     }
@@ -230,6 +237,32 @@ impl<S: LogSource> ExecutionHooks for Replayer<S> {
     }
 }
 
+impl<S: LogSource> ExecutionHooks for Replayer<S> {
+    fn next_grant(&mut self, ctx: &ArbiterContext<'_>) -> Option<Committer> {
+        GrantPolicy::next_grant(self, ctx)
+    }
+
+    fn on_commit(&mut self, rec: &CommitRecord) {
+        EventObserver::on_commit(self, rec);
+    }
+
+    fn forced_chunk_size(&mut self, core: u32, index: u64) -> Option<u32> {
+        ReplayFeed::forced_chunk_size(self, core, index)
+    }
+
+    fn io_load(&mut self, core: u32, index: u64, seq: u32, port: u16, dev: Word) -> Word {
+        ReplayFeed::io_load(self, core, index, seq, port, dev)
+    }
+
+    fn pending_interrupt(&mut self, core: u32, index: u64) -> Option<(u16, Word)> {
+        ReplayFeed::pending_interrupt(self, core, index)
+    }
+
+    fn dma_data(&mut self) -> Vec<(Addr, Word)> {
+        ReplayFeed::dma_data(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     // Test code may panic freely.
@@ -242,22 +275,25 @@ mod tests {
     fn logs_with_pi(entries: &[Committer]) -> LogSet {
         let mut r = Recorder::new(Mode::OrderOnly, 2, 1000);
         for (i, &c) in entries.iter().enumerate() {
-            r.on_commit(&CommitRecord {
-                committer: c,
-                chunk_index: i as u64 / 2 + 1,
-                size: 1000,
-                truncation: TruncationReason::StandardSize,
-                global_slot: i as u64 + 1,
-                interrupt: None,
-                io_values: Vec::new(),
-                dma_data: if c == Committer::Dma {
-                    vec![(1, 1)]
-                } else {
-                    Vec::new()
+            EventObserver::on_commit(
+                &mut r,
+                &CommitRecord {
+                    committer: c,
+                    chunk_index: i as u64 / 2 + 1,
+                    size: 1000,
+                    truncation: TruncationReason::StandardSize,
+                    global_slot: i as u64 + 1,
+                    interrupt: None,
+                    io_values: Vec::new(),
+                    dma_data: if c == Committer::Dma {
+                        vec![(1, 1)]
+                    } else {
+                        Vec::new()
+                    },
+                    access_lines: Vec::new(),
+                    write_lines: Vec::new(),
                 },
-                access_lines: Vec::new(),
-                write_lines: Vec::new(),
-            });
+            );
         }
         r.into_logs()
     }
@@ -280,7 +316,11 @@ mod tests {
             total_commits: 0,
             finished: &finished,
         };
-        assert_eq!(rp.next_grant(&ctx), None, "must wait for proc 1");
+        assert_eq!(
+            GrantPolicy::next_grant(&mut rp, &ctx),
+            None,
+            "must wait for proc 1"
+        );
         let pending = [
             PendingView {
                 committer: Committer::Proc(0),
@@ -298,25 +338,31 @@ mod tests {
             total_commits: 0,
             finished: &finished,
         };
-        assert_eq!(rp.next_grant(&ctx), Some(Committer::Proc(1)));
+        assert_eq!(
+            GrantPolicy::next_grant(&mut rp, &ctx),
+            Some(Committer::Proc(1))
+        );
     }
 
     #[test]
     fn commit_mismatch_is_flagged() {
         let logs = logs_with_pi(&[Committer::Proc(1)]);
         let mut rp = Replayer::new(Mode::OrderOnly, 2, &logs);
-        rp.on_commit(&CommitRecord {
-            committer: Committer::Proc(0),
-            chunk_index: 1,
-            size: 1000,
-            truncation: TruncationReason::StandardSize,
-            global_slot: 1,
-            interrupt: None,
-            io_values: Vec::new(),
-            dma_data: Vec::new(),
-            access_lines: Vec::new(),
-            write_lines: Vec::new(),
-        });
+        EventObserver::on_commit(
+            &mut rp,
+            &CommitRecord {
+                committer: Committer::Proc(0),
+                chunk_index: 1,
+                size: 1000,
+                truncation: TruncationReason::StandardSize,
+                global_slot: 1,
+                interrupt: None,
+                io_values: Vec::new(),
+                dma_data: Vec::new(),
+                access_lines: Vec::new(),
+                write_lines: Vec::new(),
+            },
+        );
         assert!(rp.divergence().unwrap().contains("expected"));
     }
 
@@ -324,7 +370,7 @@ mod tests {
     fn io_log_misses_are_divergences() {
         let logs = logs_with_pi(&[]);
         let mut rp = Replayer::new(Mode::OrderOnly, 2, &logs);
-        assert_eq!(rp.io_load(0, 1, 0, 3, 77), 0);
+        assert_eq!(ReplayFeed::io_load(&mut rp, 0, 1, 0, 3, 77), 0);
         assert!(rp.divergence().is_some());
     }
 
@@ -340,7 +386,7 @@ mod tests {
             total_commits: 0,
             finished: &finished,
         };
-        assert_eq!(rp.next_grant(&ctx), Some(Committer::Dma));
-        assert_eq!(rp.dma_data(), vec![(1, 1)]);
+        assert_eq!(GrantPolicy::next_grant(&mut rp, &ctx), Some(Committer::Dma));
+        assert_eq!(ReplayFeed::dma_data(&mut rp), vec![(1, 1)]);
     }
 }

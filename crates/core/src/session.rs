@@ -1,0 +1,585 @@
+//! The composable record/replay pipeline.
+//!
+//! A [`Session`] is the single run loop every [`Machine`] entry point
+//! drives: it wires a mode driver (a recording [`StreamRecorder`] or a
+//! log-following [`Replayer`](crate::Replayer)) into the chunk engine
+//! and fans the engine's typed [`SubstrateEvent`] stream out to a stack
+//! of passive [`HookStage`]s — tracers, metrics collectors, test
+//! probes. Stages are observation-only by construction, so stacking any
+//! number of them leaves the execution, its logs, and its determinism
+//! digest bit-identical (see `tests/session_pipeline.rs`).
+//!
+//! ```
+//! use delorean::{Machine, Mode, HookStage, SubstrateEvent};
+//! use delorean_isa::workload;
+//!
+//! #[derive(Default)]
+//! struct CommitCounter(u64);
+//! impl HookStage for CommitCounter {
+//!     fn on_event(&mut self, _t: u64, ev: &SubstrateEvent) {
+//!         if matches!(ev, SubstrateEvent::Commit { .. }) {
+//!             self.0 += 1;
+//!         }
+//!     }
+//! }
+//!
+//! let m = Machine::builder().mode(Mode::OrderOnly).procs(2).budget(4_000).build();
+//! let mut counter = CommitCounter::default();
+//! let recording = m
+//!     .session()
+//!     .with_stage(&mut counter)
+//!     .record(workload::by_name("fft").unwrap(), 7);
+//! assert_eq!(counter.0, recording.stats.total_commits);
+//! ```
+
+use crate::checkpoint::{IntervalCheckpoint, SystemCheckpoint};
+use crate::error::ReplayError;
+use crate::machine::{panic_silence, Machine, Recording, ReplayReport};
+use crate::replayer::Replayer;
+use crate::stream::{LogSink, LogSource, MemorySink, StreamMeta, StreamRecorder, StreamTrailer};
+use delorean_chunk::{
+    run, run_from, ArbiterContext, CommitRecord, Committer, EventObserver, ExecutionHooks,
+    GrantPolicy, HookStack, RunStats, StateDigest, SubstrateEvent,
+};
+use delorean_sim::RunSpec;
+
+/// A passive pipeline stage stacked on a [`Session`].
+///
+/// Stages observe the run — they cannot steer it: the engine ignores
+/// everything about an observation callback, and no stage method
+/// returns a value the pipeline consumes. `on_begin` fires before the
+/// engine starts (with the stream metadata the recording or replay is
+/// keyed by), `on_event` for every [`SubstrateEvent`], and `on_end`
+/// once with the final statistics.
+pub trait HookStage {
+    /// Short stable name, for diagnostics.
+    fn name(&self) -> &'static str {
+        "stage"
+    }
+
+    /// The run is about to start.
+    fn on_begin(&mut self, meta: &StreamMeta) {
+        let _ = meta;
+    }
+
+    /// A substrate event at simulated cycle `time`.
+    fn on_event(&mut self, time: u64, ev: &SubstrateEvent) {
+        let _ = (time, ev);
+    }
+
+    /// The run drained; `stats` are final.
+    fn on_end(&mut self, stats: &RunStats) {
+        let _ = stats;
+    }
+}
+
+/// A [`HookStage`] that does nothing — the disabled-tracing fast path,
+/// and the proptest probe for pipeline neutrality.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopStage;
+
+impl HookStage for NoopStage {
+    fn name(&self) -> &'static str {
+        "noop"
+    }
+}
+
+/// Adapts a [`HookStage`] to the chunk layer's [`EventObserver`] so a
+/// replay [`HookStack`] can fan events out to it.
+struct StageObserver<'a, 'b>(&'a mut (dyn HookStage + 'b));
+
+impl EventObserver for StageObserver<'_, '_> {
+    fn on_event(&mut self, time: u64, ev: &SubstrateEvent) {
+        self.0.on_event(time, ev);
+    }
+
+    fn on_run_end(&mut self, stats: &RunStats) {
+        self.0.on_end(stats);
+    }
+}
+
+/// The recording pipeline: the [`StreamRecorder`] mode driver plus the
+/// stage stack, with `SegmentFlush` events synthesized from the sink's
+/// flush counters after each commit.
+struct RecordPipeline<'a, 'b, 'c, S: LogSink> {
+    recorder: StreamRecorder<'a, S>,
+    stages: &'b mut [&'c mut dyn HookStage],
+    segments_seen: u64,
+    commits_seen: u64,
+}
+
+impl<S: LogSink> ExecutionHooks for RecordPipeline<'_, '_, '_, S> {
+    fn next_grant(&mut self, ctx: &ArbiterContext<'_>) -> Option<Committer> {
+        GrantPolicy::next_grant(&mut self.recorder, ctx)
+    }
+
+    fn on_commit(&mut self, rec: &CommitRecord) {
+        EventObserver::on_commit(&mut self.recorder, rec);
+    }
+
+    fn on_event(&mut self, time: u64, ev: &SubstrateEvent) {
+        for stage in self.stages.iter_mut() {
+            stage.on_event(time, ev);
+        }
+        // The sink flushes inside `on_commit`; the engine's commit
+        // event arrives right after, so polling here publishes the
+        // flush at the cycle it happened.
+        if matches!(ev, SubstrateEvent::Commit { .. }) {
+            self.commits_seen += 1;
+            let (segments, bytes) = self.recorder.flush_stats();
+            if segments > self.segments_seen {
+                self.segments_seen = segments;
+                let flush = SubstrateEvent::SegmentFlush {
+                    segments,
+                    bytes,
+                    commits: self.commits_seen,
+                };
+                for stage in self.stages.iter_mut() {
+                    stage.on_event(time, &flush);
+                }
+            }
+        }
+    }
+
+    fn on_run_end(&mut self, stats: &RunStats) {
+        EventObserver::on_run_end(&mut self.recorder, stats);
+        for stage in self.stages.iter_mut() {
+            stage.on_end(stats);
+        }
+    }
+}
+
+/// One configured record-or-replay run: the single internal pipeline
+/// behind every `Machine` record/replay entry point.
+///
+/// Build one with [`Machine::session`], stack [`HookStage`]s with
+/// [`with_stage`](Session::with_stage), then consume it with one of the
+/// run methods. The `Machine` methods (`record_to`, `replay_from`, …)
+/// are thin wrappers over a stage-less `Session`.
+pub struct Session<'m, 's> {
+    machine: &'m Machine,
+    stages: Vec<&'s mut dyn HookStage>,
+}
+
+impl std::fmt::Debug for Session<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("machine", self.machine)
+            .field("stages", &self.stages.len())
+            .finish()
+    }
+}
+
+impl<'m, 's> Session<'m, 's> {
+    pub(crate) fn new(machine: &'m Machine) -> Self {
+        Session {
+            machine,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Stacks `stage` on the pipeline. Stages observe events in the
+    /// order they were added.
+    #[must_use]
+    pub fn with_stage(mut self, stage: &'s mut dyn HookStage) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Records one execution of `workload` seeded by `app_seed` into an
+    /// in-memory [`Recording`].
+    // Infallible: `record_to` always drives the sink through begin,
+    // events and trailer, after which `into_recording` is `Some`.
+    #[allow(clippy::expect_used)]
+    pub fn record(
+        self,
+        workload: &delorean_isa::workload::WorkloadSpec,
+        app_seed: u64,
+    ) -> Recording {
+        let mut sink = MemorySink::new();
+        self.record_to(workload, app_seed, &mut sink);
+        sink.into_recording()
+            .expect("an in-memory recording always completes")
+    }
+
+    /// Records one execution of `workload`, streaming every commit into
+    /// `sink` as it is granted and fanning substrate events out to the
+    /// stacked stages.
+    pub fn record_to<S: LogSink>(
+        self,
+        workload: &delorean_isa::workload::WorkloadSpec,
+        app_seed: u64,
+        sink: &mut S,
+    ) -> RunStats {
+        let m = self.machine;
+        let cfg = m.recording_config(workload);
+        let checkpoint = SystemCheckpoint::initial(workload, m.procs(), app_seed);
+        let meta = StreamMeta {
+            mode: m.mode(),
+            n_procs: m.procs(),
+            chunk_size: m.chunk_size(),
+            budget: m.budget(),
+            workload: *workload,
+            app_seed,
+            devices: cfg.devices,
+            initial_mem_hash: checkpoint.initial_mem_hash,
+            interval: None,
+        };
+        let spec = RunSpec::new(*workload, m.procs(), app_seed, m.budget());
+        self.run_recording(meta, &cfg, &spec, sink)
+    }
+
+    /// Records a new interval starting from a mid-execution checkpoint,
+    /// streaming into `sink` — see
+    /// [`Machine::record_interval_to`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError::MachineMismatch`] when the checkpoint's
+    /// processor count differs from this machine's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra_budget` is zero.
+    pub fn record_interval_to<S: LogSink>(
+        self,
+        ck: &IntervalCheckpoint,
+        extra_budget: u64,
+        sink: &mut S,
+    ) -> Result<RunStats, ReplayError> {
+        assert!(extra_budget > 0, "extra budget must be positive");
+        let m = self.machine;
+        if ck.n_procs != m.procs() {
+            return Err(ReplayError::MachineMismatch {
+                recorded: ck.n_procs,
+                replaying: m.procs(),
+            });
+        }
+        let budget = ck.max_retired() + extra_budget;
+        let cfg = m.recording_config(&ck.workload);
+        let checkpoint = SystemCheckpoint::initial(&ck.workload, m.procs(), ck.app_seed);
+        let meta = StreamMeta {
+            mode: m.mode(),
+            n_procs: m.procs(),
+            chunk_size: m.chunk_size(),
+            budget,
+            workload: ck.workload,
+            app_seed: ck.app_seed,
+            devices: cfg.devices,
+            initial_mem_hash: checkpoint.initial_mem_hash,
+            interval: Some(ck.state.clone()),
+        };
+        let spec = RunSpec::new(ck.workload, m.procs(), ck.app_seed, budget);
+        Ok(self.run_recording(meta, &cfg, &spec, sink))
+    }
+
+    /// The one recording run loop: announce the stream, drive the
+    /// engine through the pipeline, let the engine's `on_run_end`
+    /// deliver the trailer and close out the stages.
+    fn run_recording<S: LogSink>(
+        mut self,
+        meta: StreamMeta,
+        cfg: &delorean_chunk::EngineConfig,
+        spec: &RunSpec,
+        sink: &mut S,
+    ) -> RunStats {
+        sink.begin(&meta);
+        for stage in &mut self.stages {
+            stage.on_begin(&meta);
+        }
+        let interval = meta.interval;
+        let mut pipeline = RecordPipeline {
+            recorder: StreamRecorder::new(meta.mode, meta.n_procs, sink),
+            stages: &mut self.stages,
+            segments_seen: 0,
+            commits_seen: 0,
+        };
+        match &interval {
+            Some(start) => run_from(spec, cfg, &mut pipeline, start),
+            None => run(spec, cfg, &mut pipeline),
+        }
+    }
+
+    /// Replays from a log source with an explicit replay-side timing
+    /// seed — see [`Machine::replay_from_with_seed`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError`] when the source carries no metadata, the
+    /// machine shape or mode does not match, or the stream turns out to
+    /// be corrupt or truncated mid-replay.
+    pub fn replay_from<S: LogSource>(
+        self,
+        source: S,
+        timing_seed: u64,
+    ) -> Result<ReplayReport, ReplayError> {
+        let m = self.machine;
+        let Some(meta) = source.meta().cloned() else {
+            return Err(ReplayError::Source {
+                detail: "log source carries no recording metadata".to_string(),
+            });
+        };
+        if meta.n_procs != m.procs() {
+            return Err(ReplayError::MachineMismatch {
+                recorded: meta.n_procs,
+                replaying: m.procs(),
+            });
+        }
+        if meta.mode != m.mode() {
+            return Err(ReplayError::ModeMismatch {
+                recorded: meta.mode,
+                replaying: m.mode(),
+            });
+        }
+        let cfg = m.replay_config_for(&meta.workload, meta.chunk_size, meta.devices, timing_seed);
+        let spec = RunSpec::new(meta.workload, m.procs(), meta.app_seed, meta.budget);
+        let replayer = Replayer::from_source(source);
+        let (mut source, stats, divergence) =
+            self.run_replay(&meta, &cfg, &spec, meta.interval.as_ref(), replayer)?;
+        if let Some(e) = source.error() {
+            return Err(ReplayError::Source {
+                detail: e.to_string(),
+            });
+        }
+        let trailer: StreamTrailer = source
+            .finish()
+            .map_err(|detail| ReplayError::Source { detail })?;
+        Ok(verified_report(&trailer.stats.digest, stats, divergence))
+    }
+
+    /// Replays `recording` driven by a *stratified* PI log — see
+    /// [`Machine::replay_stratified`] for the contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError`] when the machine shape or mode does not
+    /// match, or the mode has no PI log.
+    pub fn replay_stratified(
+        self,
+        recording: &Recording,
+        max_per_stratum: u32,
+        timing_seed: u64,
+    ) -> Result<ReplayReport, ReplayError> {
+        let m = self.machine;
+        m.check_shape(recording)?;
+        let strat = recording.stratified_pi(max_per_stratum);
+        let cfg = m.replay_config_for(
+            &recording.workload,
+            recording.chunk_size,
+            recording.devices,
+            timing_seed,
+        );
+        let meta = StreamMeta::of_recording(recording);
+        let spec = recording.run_spec();
+        let replayer = Replayer::stratified(m.mode(), m.procs(), &recording.logs, &strat);
+        let (_, stats, divergence) =
+            self.run_replay(&meta, &cfg, &spec, recording.interval.as_ref(), replayer)?;
+        Ok(verified_report(&recording.stats.digest, stats, divergence))
+    }
+
+    /// The one replay run loop: announce the stream to the stages,
+    /// stack them as observers on the replayer driver, guard the engine
+    /// against log-starvation deadlocks, and hand back the driver's
+    /// source plus any divergence it latched.
+    fn run_replay<S: LogSource>(
+        mut self,
+        meta: &StreamMeta,
+        cfg: &delorean_chunk::EngineConfig,
+        spec: &RunSpec,
+        interval: Option<&delorean_chunk::StartState>,
+        mut replayer: Replayer<S>,
+    ) -> Result<(S, RunStats, Option<String>), ReplayError> {
+        for stage in &mut self.stages {
+            stage.on_begin(meta);
+        }
+        // A corrupt or truncated stream can starve the engine of
+        // grants, which it reports by panicking ("engine deadlock");
+        // surface that as a stream error rather than crashing. The
+        // default panic hook would still print a backtrace before
+        // `catch_unwind` recovers, so silence it around the guarded
+        // run. The guard refcounts a process-global swap, so concurrent
+        // replays (e.g. a verification fan-out) stay race-free.
+        let outcome = {
+            let mut adapters: Vec<StageObserver<'_, '_>> = self
+                .stages
+                .iter_mut()
+                .map(|s| StageObserver(&mut **s))
+                .collect();
+            let observers: Vec<&mut dyn EventObserver> = adapters
+                .iter_mut()
+                .map(|a| a as &mut dyn EventObserver)
+                .collect();
+            let mut stack = HookStack::new(&mut replayer, observers);
+            let _silence = panic_silence::silence();
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match interval {
+                Some(start) => run_from(spec, cfg, &mut stack, start),
+                None => run(spec, cfg, &mut stack),
+            }))
+        };
+        let (source, divergence) = replayer.into_parts();
+        match outcome {
+            Ok(stats) => Ok((source, stats, divergence)),
+            Err(_) => {
+                let detail = source
+                    .error()
+                    .map(str::to_string)
+                    .or(divergence)
+                    .unwrap_or_else(|| {
+                        "engine deadlocked on an inconsistent log stream".to_string()
+                    });
+                Err(ReplayError::Source { detail })
+            }
+        }
+    }
+}
+
+/// The one digest-verification body every replay path funnels through:
+/// a replay is deterministic iff the driver latched no divergence *and*
+/// the final state digest matches the recording's. Both the streamed
+/// path (trailer digest) and the in-memory/stratified path (recording
+/// digest) build their [`ReplayReport`] here, so the two can never
+/// drift apart again.
+pub(crate) fn verified_report(
+    reference: &StateDigest,
+    stats: RunStats,
+    divergence: Option<String>,
+) -> ReplayReport {
+    let mut divergence = divergence;
+    if divergence.is_none() && stats.digest != *reference {
+        divergence = Some(first_digest_mismatch(reference, &stats.digest));
+    }
+    ReplayReport {
+        deterministic: divergence.is_none(),
+        divergence,
+        stats,
+    }
+}
+
+/// Names the first differing digest component, for divergence reports.
+pub(crate) fn first_digest_mismatch(rec: &StateDigest, rep: &StateDigest) -> String {
+    if rec.mem_hash != rep.mem_hash {
+        return "final memory contents differ".to_string();
+    }
+    if rec.retired != rep.retired {
+        return format!(
+            "retired counts differ: {:?} vs {:?}",
+            rec.retired, rep.retired
+        );
+    }
+    if rec.committed_chunks != rep.committed_chunks {
+        return format!(
+            "chunk counts differ: {:?} vs {:?}",
+            rec.committed_chunks, rep.committed_chunks
+        );
+    }
+    for (i, (a, b)) in rec.stream_hashes.iter().zip(&rep.stream_hashes).enumerate() {
+        if a != b {
+            return format!("instruction stream of processor {i} differs");
+        }
+    }
+    "digests differ".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+    use crate::mode::Mode;
+    use delorean_isa::workload;
+
+    #[derive(Default)]
+    struct EventTally {
+        begins: u32,
+        ends: u32,
+        commits: u64,
+        chunk_starts: u64,
+        flushes: u64,
+    }
+
+    impl HookStage for EventTally {
+        fn name(&self) -> &'static str {
+            "tally"
+        }
+        fn on_begin(&mut self, _meta: &StreamMeta) {
+            self.begins += 1;
+        }
+        fn on_event(&mut self, _time: u64, ev: &SubstrateEvent) {
+            match ev {
+                SubstrateEvent::Commit { .. } => self.commits += 1,
+                SubstrateEvent::ChunkStart { .. } => self.chunk_starts += 1,
+                SubstrateEvent::SegmentFlush { .. } => self.flushes += 1,
+                _ => {}
+            }
+        }
+        fn on_end(&mut self, _stats: &RunStats) {
+            self.ends += 1;
+        }
+    }
+
+    fn machine(mode: Mode) -> Machine {
+        let mut b = Machine::builder();
+        b.mode(mode).procs(2).budget(4_000);
+        b.build()
+    }
+
+    #[test]
+    fn record_stage_sees_every_commit_and_lifecycle_call() {
+        let m = machine(Mode::OrderOnly);
+        let w = workload::by_name("fft").unwrap();
+        let mut tally = EventTally::default();
+        let recording = m.session().with_stage(&mut tally).record(w, 7);
+        assert_eq!(tally.begins, 1);
+        assert_eq!(tally.ends, 1);
+        assert_eq!(tally.commits, recording.stats.total_commits);
+        assert!(tally.chunk_starts > 0, "chunk starts must be observed");
+    }
+
+    #[test]
+    fn file_sink_sessions_emit_segment_flushes() {
+        let m = machine(Mode::OrderOnly);
+        let w = workload::by_name("fft").unwrap();
+        let mut tally = EventTally::default();
+        let mut sink = crate::stream::FileSink::with_flush_every(Vec::new(), 2);
+        m.session()
+            .with_stage(&mut tally)
+            .record_to(w, 7, &mut sink);
+        assert!(
+            tally.flushes > 0,
+            "a FileSink session must surface segment flushes"
+        );
+    }
+
+    #[test]
+    fn replay_stages_observe_the_replayed_commits() {
+        let m = machine(Mode::OrderOnly);
+        let w = workload::by_name("fft").unwrap();
+        let recording = m.record(w, 7);
+        let mut tally = EventTally::default();
+        let report = m
+            .session()
+            .with_stage(&mut tally)
+            .replay_from(crate::stream::MemorySource::of_recording(&recording), 99)
+            .unwrap();
+        assert!(report.deterministic);
+        assert_eq!(tally.begins, 1);
+        assert_eq!(tally.ends, 1);
+        assert_eq!(tally.commits, report.stats.total_commits);
+    }
+
+    #[test]
+    fn verified_report_flags_digest_drift() {
+        let m = machine(Mode::OrderOnly);
+        let w = workload::by_name("fft").unwrap();
+        let recording = m.record(w, 7);
+        let mut tampered = recording.stats.digest.clone();
+        tampered.mem_hash ^= 1;
+        let report = verified_report(&tampered, recording.stats.clone(), None);
+        assert!(!report.deterministic);
+        assert_eq!(
+            report.divergence.as_deref(),
+            Some("final memory contents differ")
+        );
+    }
+}

@@ -42,8 +42,8 @@ use crate::wire::{
     fnv_hasher, mode_from, mode_tag, Reader, Writer, MAGIC, SEG_EVENTS, SEG_TRAILER, VERSION,
 };
 use delorean_chunk::{
-    policy, ArbiterContext, CommitRecord, Committer, DeviceConfig, ExecutionHooks, ParallelStats,
-    RunStats, StartState, StateDigest,
+    policy, ArbiterContext, CommitRecord, Committer, DeviceConfig, EventObserver, ExecutionHooks,
+    GrantPolicy, ParallelStats, ReplayFeed, RunStats, StartState, StateDigest,
 };
 use delorean_isa::workload::{self, WorkloadSpec};
 use delorean_isa::{Addr, Word};
@@ -234,6 +234,13 @@ pub trait LogSink {
     fn on_event(&mut self, event: &LogEvent);
     /// Receives the trailer after the last event.
     fn finish(&mut self, trailer: &StreamTrailer);
+    /// `(segments, bytes)` flushed to the backing store so far. Sinks
+    /// with no segmented backing store (e.g. [`MemorySink`]) report
+    /// `(0, 0)`; the `Session` pipeline polls this after each commit to
+    /// synthesize `SegmentFlush` substrate events for its stages.
+    fn flush_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Mode-dependent commit policy and [`CommitRecord`] → [`LogEvent`]
@@ -321,13 +328,23 @@ impl<'a, S: LogSink> StreamRecorder<'a, S> {
             sink,
         }
     }
+
+    /// The sink's `(segments, bytes)` flush counters — see
+    /// [`LogSink::flush_stats`].
+    pub fn flush_stats(&self) -> (u64, u64) {
+        self.sink.flush_stats()
+    }
 }
 
-impl<S: LogSink> ExecutionHooks for StreamRecorder<'_, S> {
+impl<S: LogSink> GrantPolicy for StreamRecorder<'_, S> {
     fn next_grant(&mut self, ctx: &ArbiterContext<'_>) -> Option<Committer> {
         self.bridge.next_grant(ctx)
     }
+}
 
+impl<S: LogSink> ReplayFeed for StreamRecorder<'_, S> {}
+
+impl<S: LogSink> EventObserver for StreamRecorder<'_, S> {
     fn on_commit(&mut self, rec: &CommitRecord) {
         let event = self.bridge.convert(rec);
         self.sink.on_event(&event);
@@ -337,6 +354,20 @@ impl<S: LogSink> ExecutionHooks for StreamRecorder<'_, S> {
         self.sink.finish(&StreamTrailer {
             stats: stats.clone(),
         });
+    }
+}
+
+impl<S: LogSink> ExecutionHooks for StreamRecorder<'_, S> {
+    fn next_grant(&mut self, ctx: &ArbiterContext<'_>) -> Option<Committer> {
+        GrantPolicy::next_grant(self, ctx)
+    }
+
+    fn on_commit(&mut self, rec: &CommitRecord) {
+        EventObserver::on_commit(self, rec);
+    }
+
+    fn on_run_end(&mut self, stats: &RunStats) {
+        EventObserver::on_run_end(self, stats);
     }
 }
 
@@ -835,6 +866,7 @@ pub struct FileSink<W: io::Write> {
     chunks_done: Vec<u64>,
     peak_buffered: usize,
     bytes_written: u64,
+    segments_flushed: u64,
     finished: bool,
 }
 
@@ -862,6 +894,7 @@ impl<W: io::Write> FileSink<W> {
             chunks_done: Vec::new(),
             peak_buffered: 0,
             bytes_written: 0,
+            segments_flushed: 0,
             finished: false,
         }
     }
@@ -976,6 +1009,7 @@ impl<W: io::Write> FileSink<W> {
         body.buf.extend_from_slice(&block);
         self.events_pending = 0;
         self.emit_segment(SEG_EVENTS, &body.buf);
+        self.segments_flushed += 1;
     }
 }
 
@@ -1044,6 +1078,10 @@ impl<W: io::Write> LogSink for FileSink<W> {
             }
         }
         self.finished = true;
+    }
+
+    fn flush_stats(&self) -> (u64, u64) {
+        (self.segments_flushed, self.bytes_written)
     }
 }
 

@@ -1,0 +1,251 @@
+//! Pipeline-refactor safety net: recording digests and `.dlrn` bytes
+//! must be byte-identical to the golden baseline captured from the
+//! pre-`Session` code, for the full workload catalog × all three
+//! modes, no matter how many no-op `HookStage`s are stacked on top.
+
+// Test code may panic freely.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use delorean::{
+    serialize, FileSink, FileSource, HookStage, Machine, Mode, NoopStage, ReplayError,
+    SubstrateEvent,
+};
+use delorean_isa::workload;
+use proptest::prelude::*;
+
+const MODES: [Mode; 3] = [Mode::OrderSize, Mode::OrderOnly, Mode::PicoLog];
+const GOLDEN: &str = include_str!("golden/session_digests.txt");
+const PROCS: u32 = 4;
+const BUDGET: u64 = 6_000;
+const SEED: u64 = 2026;
+
+fn machine(mode: Mode) -> Machine {
+    Machine::builder()
+        .mode(mode)
+        .procs(PROCS)
+        .budget(BUDGET)
+        .build()
+}
+
+/// FNV-1a, the same checksum family the wire format uses; good enough
+/// to pin a byte stream in a golden file.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable fingerprint of a `StateDigest`: folds every field through
+/// FNV so the golden file stays one value per line.
+fn digest_fingerprint(d: &delorean::StateDigest) -> u64 {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&d.mem_hash.to_le_bytes());
+    for part in [&d.stream_hashes, &d.retired, &d.committed_chunks] {
+        bytes.extend_from_slice(&(part.len() as u64).to_le_bytes());
+        for v in part {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fnv64(&bytes)
+}
+
+fn mode_tag(mode: Mode) -> &'static str {
+    match mode {
+        Mode::OrderSize => "ordersize",
+        Mode::OrderOnly => "orderonly",
+        Mode::PicoLog => "picolog",
+    }
+}
+
+/// One golden line per (workload, mode): digest fingerprint, stream
+/// byte hash, stream length.
+fn current_line(workload: &str, mode: Mode) -> String {
+    let m = machine(mode);
+    let w = workload::by_name(workload).expect("catalog workload");
+    let recording = m.record(w, SEED);
+    let mut sink = FileSink::new(Vec::new());
+    m.record_to(w, SEED, &mut sink);
+    let bytes = sink.into_inner().expect("writing to a Vec cannot fail");
+    format!(
+        "{workload} {} {:016x} {:016x} {}",
+        mode_tag(mode),
+        digest_fingerprint(&recording.stats.digest),
+        fnv64(&bytes),
+        bytes.len()
+    )
+}
+
+/// Acceptance: the refactor onto the `Session` pipeline left every
+/// recording digest and every `.dlrn` byte stream identical to the
+/// baseline captured before the refactor. Regenerate (only when the
+/// recording format intentionally changes) with
+/// `DELOREAN_REGEN_GOLDEN=1 cargo test -q golden_catalog` and commit
+/// the printed lines to `tests/golden/session_digests.txt`.
+#[test]
+fn golden_catalog_digests_and_bytes_are_stable() {
+    let mut fresh = Vec::new();
+    for w in workload::catalog() {
+        for mode in MODES {
+            fresh.push(current_line(w.name, mode));
+        }
+    }
+    let fresh = fresh.join("\n") + "\n";
+    if std::env::var("DELOREAN_REGEN_GOLDEN").is_ok() {
+        println!("{fresh}");
+        // Tests run with the package root (crates/core) as cwd.
+        std::fs::write("../../tests/golden/session_digests.txt", &fresh).expect("write golden");
+        return;
+    }
+    assert_eq!(
+        GOLDEN, fresh,
+        "recording output drifted from the pre-refactor golden baseline"
+    );
+}
+
+/// The golden line for one (workload, mode), as committed.
+fn golden_line(workload: &str, mode: Mode) -> &'static str {
+    let key = format!("{workload} {} ", mode_tag(mode));
+    GOLDEN
+        .lines()
+        .find(|l| l.starts_with(&key))
+        .expect("every catalog (workload, mode) has a golden line")
+}
+
+/// A stage that reads everything and changes nothing: observation-only
+/// like [`NoopStage`], but a distinct type so stacks mix stage kinds.
+#[derive(Default)]
+struct PassiveProbe {
+    events: u64,
+    insts: u64,
+}
+
+impl HookStage for PassiveProbe {
+    fn name(&self) -> &'static str {
+        "probe"
+    }
+    fn on_event(&mut self, _time: u64, ev: &SubstrateEvent) {
+        self.events += 1;
+        if let SubstrateEvent::Commit { size, .. } = ev {
+            self.insts += u64::from(*size);
+        }
+    }
+}
+
+/// Builds a session with the stage stack `stack` describes: `0` picks
+/// the next `NoopStage`, anything else the next `PassiveProbe`, so the
+/// stack order doubles as a permutation of stage kinds.
+fn stacked_session<'m, 's>(
+    m: &'m Machine,
+    stack: &[u8],
+    noops: &'s mut [NoopStage],
+    probes: &'s mut [PassiveProbe],
+) -> delorean::Session<'m, 's> {
+    let mut session = m.session();
+    let mut ni = noops.iter_mut();
+    let mut pi = probes.iter_mut();
+    for &kind in stack {
+        session = if kind == 0 {
+            session.with_stage(ni.next().expect("enough noops"))
+        } else {
+            session.with_stage(pi.next().expect("enough probes"))
+        };
+    }
+    session
+}
+
+/// Records (workload, mode) with an arbitrary stack of no-op stages
+/// and returns the same fingerprint line as [`current_line`].
+fn line_with_stages(workload: &str, mode: Mode, stack: &[u8]) -> String {
+    let m = machine(mode);
+    let w = workload::by_name(workload).expect("catalog workload");
+    let mut noops: Vec<NoopStage> = stack.iter().map(|_| NoopStage).collect();
+    let mut probes: Vec<PassiveProbe> = stack.iter().map(|_| PassiveProbe::default()).collect();
+    let recording = stacked_session(&m, stack, &mut noops, &mut probes).record(w, SEED);
+    let mut noops: Vec<NoopStage> = stack.iter().map(|_| NoopStage).collect();
+    let mut probes: Vec<PassiveProbe> = stack.iter().map(|_| PassiveProbe::default()).collect();
+    let mut sink = FileSink::new(Vec::new());
+    stacked_session(&m, stack, &mut noops, &mut probes).record_to(w, SEED, &mut sink);
+    let bytes = sink.into_inner().expect("writing to a Vec cannot fail");
+    format!(
+        "{workload} {} {:016x} {:016x} {}",
+        mode_tag(mode),
+        digest_fingerprint(&recording.stats.digest),
+        fnv64(&bytes),
+        bytes.len()
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Satellite: any permutation and stacking of observation-only
+    /// `HookStage`s leaves the recording digest and the `.dlrn` byte
+    /// stream identical to the pre-refactor golden baseline.
+    #[test]
+    fn noop_stage_stacks_are_invisible(
+        widx in 0usize..13,
+        mode_sel in 0usize..3,
+        stack in proptest::collection::vec(0u8..2, 0..5),
+    ) {
+        let w = workload::catalog()[widx];
+        let mode = MODES[mode_sel];
+        prop_assert_eq!(
+            line_with_stages(w.name, mode, &stack),
+            golden_line(w.name, mode),
+            "a stack of {} no-op stages perturbed the recording",
+            stack.len()
+        );
+    }
+}
+
+/// Satellite: both replay entry points — the in-memory
+/// `replay_with_seed` and the streaming `replay_from_with_seed` —
+/// funnel through one digest-verification body, so a recording whose
+/// digest no longer matches its execution yields the *identical*
+/// verdict from either path, and a machine-shape mismatch yields the
+/// identical `ReplayError`.
+#[test]
+fn replay_paths_share_one_digest_verdict() {
+    let m = machine(Mode::OrderOnly);
+    let w = workload::by_name("fft").expect("catalog workload");
+    let mut tampered = m.record(w, SEED);
+    tampered.stats.digest.mem_hash ^= 0xdead_beef;
+
+    let in_memory = m
+        .replay_with_seed(&tampered, 99)
+        .expect("shape matches, replay runs");
+    let bytes = serialize::to_bytes(&tampered);
+    let streamed = m
+        .replay_from_with_seed(
+            FileSource::open(&bytes[..]).expect("serialized recording decodes"),
+            99,
+        )
+        .expect("shape matches, replay runs");
+
+    assert!(!in_memory.deterministic);
+    assert!(!streamed.deterministic);
+    assert_eq!(
+        in_memory.divergence, streamed.divergence,
+        "the two replay paths no longer share the digest-verification body"
+    );
+    assert_eq!(
+        in_memory.divergence.as_deref(),
+        Some("final memory contents differ")
+    );
+
+    // A shape mismatch must also produce the identical error either way.
+    let wrong = Machine::builder()
+        .mode(Mode::OrderOnly)
+        .procs(PROCS + 1)
+        .budget(BUDGET)
+        .build();
+    let a = wrong.replay_with_seed(&tampered, 99).unwrap_err();
+    let b = wrong
+        .replay_from_with_seed(FileSource::open(&bytes[..]).expect("decodes"), 99)
+        .unwrap_err();
+    assert_eq!(a, b);
+    assert!(matches!(a, ReplayError::MachineMismatch { .. }));
+}
