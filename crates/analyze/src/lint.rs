@@ -16,7 +16,7 @@ use delorean::recover::SalvageReport;
 use delorean::stratify::StratifiedPiLog;
 use delorean::stream::{EventSegment, LogEvent, StreamMeta, StreamTrailer};
 use delorean::{SegmentWalker, StreamPosition, WalkedSegment};
-use delorean_chunk::Committer;
+use delorean_chunk::{ArbiterConfig, Committer};
 use delorean_isa::layout::{AddressMap, DMA_WORDS};
 use std::io::Read;
 
@@ -213,6 +213,36 @@ impl LintState {
         }
         if ev.interrupt.is_some() {
             self.interrupts += 1;
+        }
+        // Shard stamps must agree with the header's arbiter topology.
+        // A *missing* stamp under a sharded header is fine: in-memory
+        // round trips rebuild streams without stamps.
+        match (self.meta.arbiter, ev.shard) {
+            (ArbiterConfig::Global, Some(shard)) => {
+                self.diagnostics.push(
+                    Diagnostic::warning(
+                        "arbiter-shard",
+                        format!(
+                            "event {index} in segment {} carries shard stamp {shard} but the header declares a global arbiter",
+                            at.segment
+                        ),
+                    )
+                    .at(at),
+                );
+            }
+            (ArbiterConfig::Sharded { shards }, Some(shard)) if shard >= shards => {
+                self.diagnostics.push(
+                    Diagnostic::warning(
+                        "arbiter-shard",
+                        format!(
+                            "event {index} in segment {} carries shard stamp {shard} outside the header's {shards}-shard topology",
+                            at.segment
+                        ),
+                    )
+                    .at(at),
+                );
+            }
+            _ => {}
         }
         if let Some(size) = ev.cs_size {
             if size == 0 {
@@ -568,6 +598,122 @@ mod tests {
         let mut json = String::new();
         report.write_json(&mut json);
         assert!(json.contains("\"salvage\":{\"total_bytes\":"));
+    }
+
+    fn stamped_stream(arbiter: ArbiterConfig, stamp: Option<u32>) -> Vec<u8> {
+        use delorean::stream::{LogSink, StreamMeta, StreamTrailer};
+        use delorean_chunk::{ParallelStats, RunStats, StateDigest};
+        let meta = StreamMeta {
+            mode: delorean::Mode::OrderOnly,
+            n_procs: 2,
+            chunk_size: 100,
+            budget: 1_000,
+            workload: *delorean_isa::workload::by_name("fft").unwrap(),
+            app_seed: 1,
+            devices: delorean_chunk::DeviceConfig::none(),
+            initial_mem_hash: 0,
+            interval: None,
+            arbiter,
+        };
+        let mut sink = delorean::FileSink::new(Vec::new());
+        sink.begin(&meta);
+        sink.on_event(&LogEvent {
+            committer: Committer::Proc(0),
+            chunk_index: 1,
+            cs_size: None,
+            interrupt: None,
+            io_values: Vec::new(),
+            dma_data: Vec::new(),
+            access_lines: Vec::new(),
+            write_lines: Vec::new(),
+            shard: stamp,
+        });
+        sink.finish(&StreamTrailer {
+            stats: RunStats {
+                cycles: 10,
+                total_commits: 1,
+                squashes: 0,
+                squashed_insts: 0,
+                overflow_truncations: 0,
+                collision_truncations: 0,
+                uncached_truncations: 0,
+                interrupts: 0,
+                dma_commits: 0,
+                stall_cycles: vec![0, 0],
+                traffic_bytes: 0,
+                avg_chunk_size: 100.0,
+                parallel: ParallelStats::default(),
+                token: None,
+                work_units: 1,
+                digest: StateDigest {
+                    mem_hash: 0,
+                    stream_hashes: vec![0, 0],
+                    retired: vec![100, 0],
+                    committed_chunks: vec![1, 0],
+                },
+            },
+        });
+        sink.into_inner().unwrap()
+    }
+
+    #[test]
+    fn shard_stamp_outside_topology_is_flagged() {
+        let bytes = stamped_stream(ArbiterConfig::Sharded { shards: 2 }, Some(5));
+        let report = lint_stream(&bytes[..]);
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "arbiter-shard")
+            .expect("out-of-range shard stamp must be flagged");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("segment"), "{}", d.message);
+        assert!(d.message.contains("shard stamp 5"), "{}", d.message);
+        assert!(d.message.contains("2-shard"), "{}", d.message);
+    }
+
+    #[test]
+    fn shard_stamp_under_global_header_is_flagged() {
+        let bytes = stamped_stream(ArbiterConfig::Global, Some(0));
+        let report = lint_stream(&bytes[..]);
+        assert!(report.diagnostics.iter().any(|d| d.code == "arbiter-shard"));
+    }
+
+    #[test]
+    fn unstamped_events_under_sharded_header_are_clean() {
+        // In-memory round trips drop stamps; that must not warn.
+        let bytes = stamped_stream(ArbiterConfig::Sharded { shards: 2 }, None);
+        let report = lint_stream(&bytes[..]);
+        assert!(
+            report.diagnostics.iter().all(|d| d.code != "arbiter-shard"),
+            "{:?}",
+            report.diagnostics
+        );
+        let in_range = stamped_stream(ArbiterConfig::Sharded { shards: 2 }, Some(1));
+        let report = lint_stream(&in_range[..]);
+        assert!(report.diagnostics.iter().all(|d| d.code != "arbiter-shard"));
+    }
+
+    #[test]
+    fn sharded_recording_lints_clean_end_to_end() {
+        let machine = delorean::Machine::builder()
+            .mode(delorean::Mode::OrderOnly)
+            .procs(4)
+            .budget(2_000)
+            .arbiter(ArbiterConfig::Sharded { shards: 2 })
+            .build();
+        let w = delorean_isa::workload::by_name("fft").unwrap();
+        let mut sink = delorean::FileSink::new(Vec::new());
+        machine.record_to(w, 7, &mut sink);
+        let report = lint_bytes(&sink.into_inner().unwrap());
+        assert!(report.trailer_seen);
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .all(|d| d.severity != Severity::Error && d.code != "arbiter-shard"),
+            "{:?}",
+            report.diagnostics
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ use delorean_sim::{AccessSink, ConsistencyModel, ExecResult, Executor, RunSpec};
 /// use delorean_isa::workload::WorkloadSpec;
 /// use delorean_sim::RunSpec;
 ///
-/// let spec = RunSpec::new(WorkloadSpec::test_spec(), 2, 3, 2_000);
+/// let spec = RunSpec::new(WorkloadSpec::test_spec(), 2, 3, 2_000).unwrap();
 /// let mut fdr = FdrRecorder::new(2);
 /// let result = run_baseline(&spec, &mut fdr);
 /// assert!(result.mem_ops > 0);

@@ -14,7 +14,7 @@ const APPS: [&str; 4] = ["barnes", "ocean", "radix", "raytrace"];
 
 fn rc_rate(app: &str, procs: u32, budget: u64) -> f64 {
     let w = *workload::by_name(app).unwrap();
-    let spec = RunSpec::new(w, procs, 42, budget);
+    let spec = RunSpec::new(w, procs, 42, budget).unwrap();
     let r = Executor::new(ConsistencyModel::Rc).run(&spec);
     r.work_units as f64 / r.cycles as f64
 }
@@ -90,7 +90,7 @@ fn main() {
         let mut speed = Vec::new();
         for app in APPS {
             let w = *workload::by_name(app).unwrap();
-            let spec = RunSpec::new(w, 8, 42, budget);
+            let spec = RunSpec::new(w, 8, 42, budget).unwrap();
             let mut cfg = EngineConfig::recording(2_000);
             cfg.arbitration_latency = arb;
             let st = chunk_run(&spec, &cfg, &mut BulkScHooks);

@@ -71,7 +71,7 @@ fn main() {
     let mut measured = Vec::new();
     for (_, apps) in figure_groups() {
         for app in apps {
-            let spec = RunSpec::new(*app, 8, seed, budget);
+            let spec = RunSpec::new(*app, 8, seed, budget).unwrap();
             let mut fdr = FdrRecorder::new(8);
             let mut rtr = RtrRecorder::new(8);
             let res = run_baseline(&spec, &mut fdr);

@@ -23,7 +23,7 @@ fn main() {
     let mut traffic_pico_vs_oo = Vec::new();
 
     for w in workload::catalog() {
-        let spec = RunSpec::new(*w, 8, seed, budget);
+        let spec = RunSpec::new(*w, 8, seed, budget).unwrap();
         let rc = Executor::new(ConsistencyModel::Rc).run(&spec);
         let sc = Executor::new(ConsistencyModel::Sc).run(&spec);
         let bulk = chunk_run(&spec, &EngineConfig::recording(2_000), &mut BulkScHooks);

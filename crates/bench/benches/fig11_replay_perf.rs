@@ -18,7 +18,7 @@ fn main() {
     let mut gm: Vec<Vec<f64>> = vec![Vec::new(); 6];
 
     for w in workload::catalog() {
-        let spec = RunSpec::new(*w, 8, seed, budget);
+        let spec = RunSpec::new(*w, 8, seed, budget).unwrap();
         let rc = Executor::new(ConsistencyModel::Rc).run(&spec);
         let base = rc.work_units as f64 / rc.cycles as f64;
         let rel = |wu: u64, cy: u64| (wu as f64 / cy as f64) / base;

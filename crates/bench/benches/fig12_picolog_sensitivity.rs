@@ -20,9 +20,9 @@ fn main() {
             for &sim in &sim_chunks {
                 let mut rel = Vec::new();
                 for w in workload::splash2() {
-                    let spec = RunSpec::new(*w, procs, seed, budget);
+                    let spec = RunSpec::new(*w, procs, seed, budget).unwrap();
                     let rc = Executor::new(ConsistencyModel::Rc)
-                        .with_machine(MachineConfig::with_procs(procs))
+                        .with_machine(MachineConfig::with_procs(procs).unwrap())
                         .run(&spec);
                     let m = Machine::builder()
                         .mode(Mode::PicoLog)

@@ -14,7 +14,7 @@ use std::hint::black_box;
 fn engine_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     let budget = 10_000u64;
-    let spec = RunSpec::new(*workload::by_name("barnes").unwrap(), 4, 7, budget);
+    let spec = RunSpec::new(*workload::by_name("barnes").unwrap(), 4, 7, budget).unwrap();
     g.throughput(Throughput::Elements(budget * 4));
     g.bench_function("chunked_barnes_4p", |b| {
         b.iter(|| {

@@ -46,7 +46,7 @@ fn main() {
     let mut pl_replay = Vec::new();
 
     for w in workload::catalog() {
-        let spec = RunSpec::new(*w, 8, seed, budget);
+        let spec = RunSpec::new(*w, 8, seed, budget).unwrap();
         let rc = Executor::new(ConsistencyModel::Rc).run(&spec);
         let base = rc.work_units as f64 / rc.cycles as f64;
         let rel = |wu: u64, cy: u64| (wu as f64 / cy as f64) / base;

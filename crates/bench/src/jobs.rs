@@ -14,7 +14,7 @@
 use crate::record::{peak_rss_kb, BenchRecord, StageTimings};
 use delorean::{Machine, Mode, Recording};
 use delorean_baselines::{run_baseline, FdrRecorder, RtrRecorder, StrataRecorder};
-use delorean_chunk::{run as chunk_run, BulkScHooks, EngineConfig, RunStats};
+use delorean_chunk::{run as chunk_run, ArbiterConfig, BulkScHooks, EngineConfig, RunStats};
 use delorean_isa::workload;
 use delorean_sim::{ConsistencyModel, Executor, MachineConfig, RunSpec};
 use std::time::Instant;
@@ -40,11 +40,14 @@ pub enum Figure {
     Tab01,
     /// PicoLog commit-token characterization.
     Tab06,
+    /// Core-count scaling study: log size and squash rate vs
+    /// {8..256} processors, global vs sharded arbiter.
+    Scale,
 }
 
 impl Figure {
     /// All figures, in sweep order.
-    pub const ALL: [Figure; 9] = [
+    pub const ALL: [Figure; 10] = [
         Figure::Fig06,
         Figure::Fig07,
         Figure::Fig08,
@@ -54,6 +57,7 @@ impl Figure {
         Figure::Fig12,
         Figure::Tab01,
         Figure::Tab06,
+        Figure::Scale,
     ];
 
     /// The id used in job identities, JSON and `--figure` arguments.
@@ -68,6 +72,7 @@ impl Figure {
             Figure::Fig12 => "fig12",
             Figure::Tab01 => "tab01",
             Figure::Tab06 => "tab06",
+            Figure::Scale => "scale",
         }
     }
 
@@ -173,10 +178,15 @@ pub struct JobSpec {
     pub budget: u64,
     /// User-chosen base seed, mixed into the per-job seed.
     pub base_seed: u64,
+    /// Commit-arbiter topology the recording runs under.
+    pub arbiter: ArbiterConfig,
 }
 
 impl JobSpec {
-    /// Stable identity: `figure/workload/label/cCHUNK/pPROCS[/sSIM]`.
+    /// Stable identity:
+    /// `figure/workload/label/cCHUNK/pPROCS[/sSIM][/shK]`. The arbiter
+    /// suffix appears only for sharded jobs, so every pre-existing id
+    /// is unchanged.
     pub fn id(&self) -> String {
         let mut id = format!(
             "{}/{}/{}/c{}/p{}",
@@ -189,6 +199,9 @@ impl JobSpec {
         if self.simultaneous > 0 {
             id.push_str(&format!("/s{}", self.simultaneous));
         }
+        if let ArbiterConfig::Sharded { shards } = self.arbiter {
+            id.push_str(&format!("/sh{shards}"));
+        }
         id
     }
 
@@ -200,10 +213,12 @@ impl JobSpec {
     /// * it depends only on identity fields — never on sweep position
     ///   or worker — which is what makes figure-subset runs reproduce
     ///   full-sweep records; and
-    /// * it *excludes* the mode and chunk size, so within a figure the
-    ///   RC/SC baselines and every recorded mode execute the identical
-    ///   generated program. Speedup and traffic ratios then compare
-    ///   like with like instead of carrying cross-program noise.
+    /// * it *excludes* the mode, chunk size and arbiter topology, so
+    ///   within a figure the RC/SC baselines and every recorded mode —
+    ///   and the global vs sharded points of the scaling study —
+    ///   execute the identical generated program. Speedup and traffic
+    ///   ratios then compare like with like instead of carrying
+    ///   cross-program noise.
     pub fn seed(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in format!("{}/{}/p{}", self.figure, self.workload, self.procs).bytes() {
@@ -235,6 +250,9 @@ fn figure_budget(figure: Figure, full: bool, budget_div: u64) -> u64 {
         Figure::Fig12 => 10_000,
         Figure::Tab01 => 15_000,
         Figure::Tab06 => 20_000,
+        // 256-proc points make this figure machine-wide heavy even at a
+        // small per-proc budget.
+        Figure::Scale => 2_000,
     };
     let scaled = if full { base * 5 } else { base };
     // Deliberately no clamp: an over-aggressive divisor yields a zero
@@ -268,6 +286,7 @@ pub fn enumerate_jobs(
             simultaneous: sim,
             budget,
             base_seed,
+            arbiter: ArbiterConfig::Global,
         };
         match figure {
             Figure::Fig06 => {
@@ -372,6 +391,15 @@ pub fn enumerate_jobs(
                     jobs.push(job(w, JobKind::Record(Mode::PicoLog), 8, 1_000, 0));
                 }
             }
+            Figure::Scale => {
+                for procs in [8, 16, 64, 128, 256] {
+                    for arb in [ArbiterConfig::Global, ArbiterConfig::Sharded { shards: 4 }] {
+                        let mut j = job("fft", JobKind::Record(Mode::OrderOnly), procs, 2_000, 0);
+                        j.arbiter = arb;
+                        jobs.push(j);
+                    }
+                }
+            }
         }
     }
     jobs
@@ -388,7 +416,10 @@ pub fn run_job(spec: &JobSpec) -> BenchRecord {
     // Unknown workloads are rejected by `validate` before any job runs.
     #[allow(clippy::expect_used)]
     let w = workload::by_name(&spec.workload).expect("validated workload");
-    let run_spec = RunSpec::new(*w, spec.procs, seed, spec.budget);
+    // Zero budgets and out-of-range proc counts are also rejected by
+    // `validate` before any job runs.
+    #[allow(clippy::expect_used)]
+    let run_spec = RunSpec::new(*w, spec.procs, seed, spec.budget).expect("validated job spec");
 
     let mut record = BenchRecord {
         id: spec.id(),
@@ -422,9 +453,10 @@ pub fn run_job(spec: &JobSpec) -> BenchRecord {
                 ConsistencyModel::Sc
             };
             let t = Instant::now();
-            let res = Executor::new(model)
-                .with_machine(MachineConfig::with_procs(spec.procs))
-                .run(&run_spec);
+            // Proc counts were validated alongside the rest of the spec.
+            #[allow(clippy::expect_used)]
+            let machine = MachineConfig::with_procs(spec.procs).expect("validated job spec");
+            let res = Executor::new(model).with_machine(machine).run(&run_spec);
             record.timings.record_ms = ms(t);
             record.cycles = res.cycles;
             record.work_units = res.work_units;
@@ -465,6 +497,23 @@ pub fn run_job(spec: &JobSpec) -> BenchRecord {
                     "avg_parallel_commits".into(),
                     rec.stats.parallel.avg_actual_commit(),
                 ));
+            }
+            if spec.figure == Figure::Scale {
+                // The scaling figure compares arbiter backends, so the
+                // backend topology and the machine-wide squash pressure
+                // ride along as extras (the record schema itself is
+                // shared with every other figure and stays fixed).
+                let kilo_insts = (rec.total_instructions() as f64 / 1_000.0).max(1.0);
+                record.extra.push((
+                    "arbiter_shards".into(),
+                    f64::from(spec.arbiter.shard_count()),
+                ));
+                record
+                    .extra
+                    .push(("squashes".into(), rec.stats.squashes as f64));
+                record
+                    .extra
+                    .push(("squash_rate".into(), rec.stats.squashes as f64 / kilo_insts));
             }
         }
         JobKind::RecordReplay {
@@ -570,7 +619,10 @@ pub fn run_job(spec: &JobSpec) -> BenchRecord {
 /// Builds the machine for a chunk-mode job.
 fn build_machine(spec: &JobSpec, mode: Mode) -> Machine {
     let mut b = Machine::builder();
-    b.mode(mode).procs(spec.procs).budget(spec.budget);
+    b.mode(mode)
+        .procs(spec.procs)
+        .budget(spec.budget)
+        .arbiter(spec.arbiter);
     if spec.chunk_size > 0 {
         b.chunk_size(spec.chunk_size);
     }
@@ -751,6 +803,7 @@ mod tests {
             simultaneous: 0,
             budget: 2_000,
             base_seed: 42,
+            arbiter: ArbiterConfig::Global,
         };
         let r = run_job(&spec);
         assert_eq!(r.id, "fig10/fft/orderonly/c1000/p2");
@@ -778,6 +831,7 @@ mod tests {
             simultaneous: 0,
             budget: 2_000,
             base_seed: 42,
+            arbiter: ArbiterConfig::Global,
         };
         let r = run_job(&spec);
         assert_eq!(r.replays, 2);

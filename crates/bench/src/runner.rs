@@ -598,6 +598,37 @@ fn summarize(figures: &[Figure], records: &[BenchRecord]) -> Vec<FigureSummary> 
                     );
                 }
             }
+            Figure::Scale => {
+                // Core-count scaling, global vs sharded arbitration:
+                // records are keyed by the `arbiter_shards` extra
+                // (0 = global), so the summary needs no schema change.
+                let by_backend = |procs: u32, sharded: bool| -> Vec<&BenchRecord> {
+                    recs.iter()
+                        .filter(|r| {
+                            r.procs == procs
+                                && extra(r, "arbiter_shards").map(|k| k > 0.0) == Some(sharded)
+                        })
+                        .copied()
+                        .collect()
+                };
+                for procs in [8u32, 64, 256] {
+                    for (sharded, label) in [(false, "global"), (true, "sharded")] {
+                        let rs = by_backend(procs, sharded);
+                        push(
+                            &format!("{label}_bits_pki_p{procs}"),
+                            gm(&rs.iter().map(|r| r.comp_bits_pp_pki).collect::<Vec<_>>()),
+                        );
+                        push(
+                            &format!("{label}_squash_rate_p{procs}"),
+                            mean(
+                                &rs.iter()
+                                    .filter_map(|r| extra(r, "squash_rate"))
+                                    .collect::<Vec<_>>(),
+                            ),
+                        );
+                    }
+                }
+            }
             Figure::Tab06 => {
                 let pl = sp2_recs("picolog", 1_000);
                 for (key, name) in [

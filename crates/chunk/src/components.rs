@@ -1,0 +1,209 @@
+//! The chunk machine decomposed into scheduled [`Component`]s.
+//!
+//! The engine's former monolithic event loop is now a generic
+//! component driver: each actor of the machine — one chunk executor per
+//! processor, the commit arbiter, the interrupt controller, the DMA
+//! device, the fault-injection storm generator — is a [`Component`]
+//! registered with the deterministic
+//! [`Scheduler`](delorean_sim::scheduler::Scheduler), and the engine
+//! merely pops `(tick, component, event)` triples and ticks the
+//! addressed component.
+//!
+//! Two scheduling styles appear here, matching the two styles the
+//! `Component` contract supports:
+//!
+//! * [`EngineComponent::CoreExecutor`], [`EngineComponent::CommitArbiter`]
+//!   and [`EngineComponent::InterruptController`] are *reactive*: they
+//!   run only when an event addressed to them fires, and any follow-on
+//!   work they create is posted through the engine state they tick
+//!   against (completion → commit request, interrupt → re-arm with a
+//!   payload).
+//! * [`EngineComponent::DmaDevice`] and [`EngineComponent::StormInjector`]
+//!   are *proactive*: payload-free periodic devices whose `tick` returns
+//!   the cycle of their next firing ([`NEVER`] once the run drains), and
+//!   the driver re-arms them with the event [`EngineComponent::rearm`]
+//!   names.
+//!
+//! Component ids are laid out `0..n` for the per-processor executors,
+//! then arbiter, interrupt controller, DMA, storm — so the id doubles as
+//! the index into the component table [`machine_components`] builds.
+
+use crate::engine::{Engine, Ev};
+use delorean_sim::component::{Component, ComponentId, NEVER};
+
+/// What a component sees when it ticks: the whole engine state plus the
+/// event that woke it.
+pub(crate) struct EngineCtx<'a, 'h> {
+    /// The machine state the component acts on.
+    pub(crate) st: &'a mut Engine<'h>,
+    /// The event addressed to the ticking component.
+    pub(crate) ev: Ev,
+}
+
+/// One scheduled actor of the chunk machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EngineComponent {
+    /// Per-processor chunk executor: consumes `Complete` events.
+    CoreExecutor {
+        /// The component's scheduler identity (== core index).
+        id: ComponentId,
+    },
+    /// The commit arbiter: consumes `Request`, `CommitDone` and `Poll`.
+    CommitArbiter {
+        /// The component's scheduler identity.
+        id: ComponentId,
+    },
+    /// The interrupt controller: consumes `Irq` events and re-arms
+    /// itself internally (its re-arm carries a core payload).
+    InterruptController {
+        /// The component's scheduler identity.
+        id: ComponentId,
+    },
+    /// The DMA device: proactive, period drawn from the device bank.
+    DmaDevice {
+        /// The component's scheduler identity.
+        id: ComponentId,
+        /// Next self-scheduled firing ([`NEVER`] when idle).
+        next: u64,
+    },
+    /// The fault-injection squash-storm generator: proactive.
+    StormInjector {
+        /// The component's scheduler identity.
+        id: ComponentId,
+        /// Next self-scheduled firing ([`NEVER`] when idle).
+        next: u64,
+    },
+}
+
+impl EngineComponent {
+    /// The payload-free event a proactive component is re-armed with
+    /// when its `tick` returns a finite wake tick; `None` for reactive
+    /// components (whose follow-on work is posted internally).
+    pub(crate) fn rearm(&self) -> Option<Ev> {
+        match self {
+            Self::DmaDevice { .. } => Some(Ev::Dma),
+            Self::StormInjector { .. } => Some(Ev::Storm),
+            _ => None,
+        }
+    }
+}
+
+impl<'a, 'h> Component<EngineCtx<'a, 'h>> for EngineComponent {
+    fn id(&self) -> ComponentId {
+        match self {
+            Self::CoreExecutor { id }
+            | Self::CommitArbiter { id }
+            | Self::InterruptController { id }
+            | Self::DmaDevice { id, .. }
+            | Self::StormInjector { id, .. } => *id,
+        }
+    }
+
+    fn next_tick(&self) -> u64 {
+        match self {
+            Self::DmaDevice { next, .. } | Self::StormInjector { next, .. } => *next,
+            _ => NEVER,
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut EngineCtx<'a, 'h>) -> u64 {
+        match self {
+            Self::CoreExecutor { .. } => {
+                if let Ev::Complete { core, attempt } = ctx.ev {
+                    ctx.st.handle_complete(core, attempt);
+                }
+                NEVER
+            }
+            Self::CommitArbiter { .. } => {
+                match ctx.ev {
+                    Ev::Request { core, attempt } => ctx.st.handle_request(core, attempt),
+                    Ev::CommitDone { token } => ctx.st.handle_commit_done(token),
+                    // `Poll` exists to wake the arbiter poll the driver
+                    // runs after every tick.
+                    _ => {}
+                }
+                NEVER
+            }
+            Self::InterruptController { .. } => {
+                if let Ev::Irq { core } = ctx.ev {
+                    ctx.st.handle_irq(core);
+                }
+                NEVER
+            }
+            Self::DmaDevice { next, .. } => {
+                *next = ctx.st.handle_dma();
+                *next
+            }
+            Self::StormInjector { next, .. } => {
+                *next = ctx.st.handle_storm();
+                *next
+            }
+        }
+    }
+}
+
+/// The component table for an `n_procs`-processor machine, indexed by
+/// [`ComponentId`]: executors `0..n`, then arbiter, interrupt
+/// controller, DMA device, storm injector.
+pub(crate) fn machine_components(n_procs: u32) -> Vec<EngineComponent> {
+    let mut v: Vec<EngineComponent> = (0..n_procs)
+        .map(|c| EngineComponent::CoreExecutor {
+            id: ComponentId::new(c),
+        })
+        .collect();
+    v.push(EngineComponent::CommitArbiter {
+        id: ComponentId::new(n_procs),
+    });
+    v.push(EngineComponent::InterruptController {
+        id: ComponentId::new(n_procs + 1),
+    });
+    v.push(EngineComponent::DmaDevice {
+        id: ComponentId::new(n_procs + 2),
+        next: NEVER,
+    });
+    v.push(EngineComponent::StormInjector {
+        id: ComponentId::new(n_procs + 3),
+        next: NEVER,
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    #[test]
+    fn component_table_layout_matches_ids() {
+        let comps = machine_components(3);
+        assert_eq!(comps.len(), 7);
+        for (i, c) in comps.iter().enumerate() {
+            let id = Component::<EngineCtx<'_, '_>>::id(c);
+            assert_eq!(id.index(), i, "component id must equal its table index");
+        }
+        assert!(matches!(comps[2], EngineComponent::CoreExecutor { .. }));
+        assert!(matches!(comps[3], EngineComponent::CommitArbiter { .. }));
+        assert!(matches!(
+            comps[4],
+            EngineComponent::InterruptController { .. }
+        ));
+        assert!(matches!(comps[5], EngineComponent::DmaDevice { .. }));
+        assert!(matches!(comps[6], EngineComponent::StormInjector { .. }));
+    }
+
+    #[test]
+    fn only_proactive_components_rearm() {
+        for c in machine_components(2) {
+            match c {
+                EngineComponent::DmaDevice { .. } => assert_eq!(c.rearm(), Some(Ev::Dma)),
+                EngineComponent::StormInjector { .. } => {
+                    assert_eq!(c.rearm(), Some(Ev::Storm));
+                }
+                _ => assert_eq!(c.rearm(), None),
+            }
+            assert_eq!(Component::<EngineCtx<'_, '_>>::next_tick(&c), NEVER);
+        }
+    }
+}

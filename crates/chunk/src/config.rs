@@ -1,6 +1,54 @@
 //! Engine configuration.
 
-use delorean_sim::MachineConfig;
+use delorean_sim::{MachineConfig, SpecError};
+
+/// Commit-arbiter topology: one global arbiter (the paper's machine) or
+/// `K` shards, each with its own commit sequence, merged into the single
+/// recorded total order via the shard vector clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArbiterConfig {
+    /// One global arbiter serializes every commit (the paper's design).
+    #[default]
+    Global,
+    /// `shards` arbiter shards; processor `p` requests shard
+    /// `p % shards`, DMA requests shard 0.
+    Sharded {
+        /// Number of shards (≥ 1).
+        shards: u32,
+    },
+}
+
+impl ArbiterConfig {
+    /// Parses the `--arbiter` CLI syntax: `global` or `sharded:<K>`.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s == "global" {
+            return Some(Self::Global);
+        }
+        let k = s.strip_prefix("sharded:")?.parse::<u32>().ok()?;
+        if k == 0 || k > delorean_sim::MAX_PROCS {
+            return None;
+        }
+        Some(Self::Sharded { shards: k })
+    }
+
+    /// The shard count: 0 for the global arbiter (which has no shards),
+    /// `K` for `sharded:K`.
+    pub fn shard_count(self) -> u32 {
+        match self {
+            Self::Global => 0,
+            Self::Sharded { shards } => shards,
+        }
+    }
+}
+
+impl std::fmt::Display for ArbiterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Global => write!(f, "global"),
+            Self::Sharded { shards } => write!(f, "sharded:{shards}"),
+        }
+    }
+}
 
 /// Device activity configuration (interrupts and DMA are generated
 /// only during recording; replay reproduces them from logs).
@@ -155,6 +203,10 @@ pub struct EngineConfig {
     /// Substrate-level fault injection (recording only; replay always
     /// runs fault-free and reproduces the faults from the logs).
     pub faults: Option<SubstrateFaultConfig>,
+    /// Commit-arbiter topology (recording only; replay re-serializes
+    /// the recorded total order through the global mechanics whatever
+    /// topology produced it).
+    pub arbiter: ArbiterConfig,
 }
 
 impl EngineConfig {
@@ -179,6 +231,7 @@ impl EngineConfig {
             collect_token_stats: false,
             grant_gap: 0,
             faults: None,
+            arbiter: ArbiterConfig::Global,
         }
     }
 
@@ -196,14 +249,31 @@ impl EngineConfig {
             // Replay must be fault-free: the recorded logs already
             // carry every effect of the injected faults.
             faults: None,
+            // Replay consumes the single recorded total order, so it
+            // always runs the global arbiter mechanics, even for a
+            // recording made under a sharded topology.
+            arbiter: ArbiterConfig::Global,
             ..recording.clone()
         }
     }
 
-    /// Sets the processor count (Figure 12 sweeps 4/8/16).
+    /// Sets the processor count (Figure 12 sweeps 4/8/16; the scaling
+    /// study goes to 256), validated through
+    /// [`MachineConfig::try_procs`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for 0 or more than
+    /// [`MAX_PROCS`](delorean_sim::MAX_PROCS) processors.
+    pub fn with_procs(mut self, n: u32) -> Result<Self, SpecError> {
+        self.machine = self.machine.try_procs(n)?;
+        Ok(self)
+    }
+
+    /// Sets the commit-arbiter topology.
     #[must_use]
-    pub fn with_procs(mut self, n: u32) -> Self {
-        self.machine.n_procs = n;
+    pub fn with_arbiter(mut self, arbiter: ArbiterConfig) -> Self {
+        self.arbiter = arbiter;
         self
     }
 
@@ -270,8 +340,50 @@ mod tests {
     fn builders_override() {
         let c = EngineConfig::recording(1000)
             .with_procs(16)
+            .unwrap()
             .with_simultaneous_chunks(4);
         assert_eq!(c.machine.n_procs, 16);
         assert_eq!(c.machine.simultaneous_chunks, 4);
+    }
+
+    #[test]
+    fn with_procs_enforces_the_shared_ceiling() {
+        assert_eq!(
+            EngineConfig::recording(1000).with_procs(0).unwrap_err(),
+            SpecError::ZeroProcs
+        );
+        assert!(EngineConfig::recording(1000).with_procs(257).is_err());
+        assert_eq!(
+            EngineConfig::recording(1000)
+                .with_procs(256)
+                .unwrap()
+                .machine
+                .n_procs,
+            256
+        );
+    }
+
+    #[test]
+    fn arbiter_syntax_round_trips() {
+        assert_eq!(ArbiterConfig::parse("global"), Some(ArbiterConfig::Global));
+        assert_eq!(
+            ArbiterConfig::parse("sharded:4"),
+            Some(ArbiterConfig::Sharded { shards: 4 })
+        );
+        assert_eq!(ArbiterConfig::parse("sharded:0"), None);
+        assert_eq!(ArbiterConfig::parse("sharded:257"), None);
+        assert_eq!(ArbiterConfig::parse("hierarchical"), None);
+        for a in [ArbiterConfig::Global, ArbiterConfig::Sharded { shards: 8 }] {
+            assert_eq!(ArbiterConfig::parse(&a.to_string()), Some(a));
+        }
+        assert_eq!(ArbiterConfig::Global.shard_count(), 0);
+        assert_eq!(ArbiterConfig::Sharded { shards: 8 }.shard_count(), 8);
+    }
+
+    #[test]
+    fn replay_config_always_runs_the_global_arbiter() {
+        let rec = EngineConfig::recording(2000).with_arbiter(ArbiterConfig::Sharded { shards: 4 });
+        let rep = EngineConfig::replay_of(&rec, 99);
+        assert_eq!(rep.arbiter, ArbiterConfig::Global);
     }
 }

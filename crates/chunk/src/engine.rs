@@ -11,7 +11,9 @@
 //! order, which is exactly the property DeLorean's determinism proof
 //! (Appendix B) relies on.
 
-use crate::config::EngineConfig;
+use crate::arbiter::{ArbiterBackend, GlobalArbiter, ShardedArbiter};
+use crate::components::{machine_components, EngineCtx};
+use crate::config::{ArbiterConfig, EngineConfig};
 use crate::devices::DeviceBank;
 use crate::hooks::{
     ArbiterContext, CommitRecord, Committer, ExecutionHooks, PendingView, SubstrateEvent,
@@ -23,14 +25,16 @@ use delorean_isa::inst::effective_addr;
 use delorean_isa::layout::{AddressMap, DMA_WORDS};
 use delorean_isa::{Addr, Inst, IoBus, Program, StepKind, Vm, Word};
 use delorean_mem::{line_of, Memory};
+use delorean_sim::component::{Component, ComponentId, NEVER};
+use delorean_sim::scheduler::Scheduler;
 use delorean_sim::{AccessClass, MemorySystem, RunSpec, TimingParams};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
+/// The event vocabulary the machine's components exchange through the
+/// scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ev {
+pub(crate) enum Ev {
     /// A chunk execution attempt finished.
     Complete { core: u32, attempt: u64 },
     /// A commit request reached the arbiter.
@@ -45,25 +49,6 @@ enum Ev {
     Storm,
     /// Re-poll the arbiter (grant-gap pacing).
     Poll,
-}
-
-#[derive(Debug, PartialEq, Eq)]
-struct QEvent {
-    time: u64,
-    seq: u64,
-    ev: Ev,
-}
-
-impl Ord for QEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-impl PartialOrd for QEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 #[derive(Debug)]
@@ -153,15 +138,18 @@ pub fn run_from(
     Engine::new(spec, cfg, hooks, Some(start)).run()
 }
 
-struct Engine<'h> {
+pub(crate) struct Engine<'h> {
     cfg: EngineConfig,
     hooks: &'h mut dyn ExecutionHooks,
     budget: u64,
     now: u64,
-    seq: u64,
     attempt_ctr: u64,
     commit_token_ctr: u64,
-    events: BinaryHeap<Reverse<QEvent>>,
+    sched: Scheduler<Ev>,
+    arbiter: Box<dyn ArbiterBackend>,
+    /// Shard of the grant currently being applied, consumed into its
+    /// [`CommitRecord`].
+    grant_shard: Option<u32>,
     cores: Vec<CoreState>,
     memory: Memory,
     memsys: MemorySystem,
@@ -262,14 +250,22 @@ impl<'h> Engine<'h> {
         let devices = DeviceBank::new(spec.seed, cfg.devices, map.dma_base(), DMA_WORDS);
         let trng = SmallRng::seed_from_u64(cfg.timing_seed ^ 0x7141_e57a);
         let frng = SmallRng::seed_from_u64(cfg.faults.map_or(0, |f| f.seed) ^ 0xfa17_5eed);
+        // Replay re-serializes the recorded total order, so it always
+        // runs the global arbiter mechanics regardless of the topology
+        // that produced the recording.
+        let arbiter: Box<dyn ArbiterBackend> = match (cfg.replay, cfg.arbiter) {
+            (false, ArbiterConfig::Sharded { shards }) => Box::new(ShardedArbiter::new(shards)),
+            _ => Box::new(GlobalArbiter),
+        };
         Self {
             budget: spec.budget,
             hooks,
             now: 0,
-            seq: 0,
             attempt_ctr: 0,
             commit_token_ctr: 0,
-            events: BinaryHeap::new(),
+            sched: Scheduler::new(),
+            arbiter,
+            grant_shard: None,
             cores,
             memory,
             memsys,
@@ -300,13 +296,22 @@ impl<'h> Engine<'h> {
         }
     }
 
+    /// Routes an event to the component that consumes it: executors
+    /// `0..n`, then arbiter, interrupt controller, DMA, storm.
+    fn component_of(&self, ev: Ev) -> ComponentId {
+        let n = self.cores.len() as u32;
+        ComponentId::new(match ev {
+            Ev::Complete { core, .. } => core,
+            Ev::Request { .. } | Ev::CommitDone { .. } | Ev::Poll => n,
+            Ev::Irq { .. } => n + 1,
+            Ev::Dma => n + 2,
+            Ev::Storm => n + 3,
+        })
+    }
+
     fn schedule(&mut self, time: u64, ev: Ev) {
-        self.seq += 1;
-        self.events.push(Reverse(QEvent {
-            time,
-            seq: self.seq,
-            ev,
-        }));
+        let id = self.component_of(ev);
+        self.sched.post(time, id, ev);
     }
 
     fn all_done(&self) -> bool {
@@ -315,6 +320,7 @@ impl<'h> Engine<'h> {
 
     fn run(mut self) -> RunStats {
         let n = self.cores.len() as u32;
+        let mut components = machine_components(n);
         for c in 0..n {
             self.try_start_chunk(c);
         }
@@ -334,19 +340,27 @@ impl<'h> Engine<'h> {
             }
         }
         self.poll_arbiter();
-        while let Some(Reverse(qe)) = self.events.pop() {
+        while let Some(item) = self.sched.pop() {
             if self.all_done() {
                 break;
             }
-            self.now = qe.time;
-            match qe.ev {
-                Ev::Complete { core, attempt } => self.handle_complete(core, attempt),
-                Ev::Request { core, attempt } => self.handle_request(core, attempt),
-                Ev::CommitDone { token } => self.handle_commit_done(token),
-                Ev::Irq { core } => self.handle_irq(core),
-                Ev::Dma => self.handle_dma(),
-                Ev::Storm => self.handle_storm(),
-                Ev::Poll => {}
+            self.now = item.tick;
+            let (wake, rearm) = {
+                let comp = &mut components[item.id.index()];
+                let mut ctx = EngineCtx {
+                    st: &mut self,
+                    ev: item.payload,
+                };
+                let wake = comp.tick(&mut ctx);
+                (wake, comp.rearm())
+            };
+            // Proactive components (DMA, storm) are re-armed by the
+            // driver with their payload-free event; reactive ones
+            // return NEVER and post follow-on work internally.
+            if wake != NEVER {
+                if let Some(ev) = rearm {
+                    self.sched.post(wake, item.id, ev);
+                }
             }
             self.poll_arbiter();
         }
@@ -407,7 +421,7 @@ impl<'h> Engine<'h> {
 
     // ----- event handlers -------------------------------------------------
 
-    fn handle_complete(&mut self, core: u32, attempt: u64) {
+    pub(crate) fn handle_complete(&mut self, core: u32, attempt: u64) {
         let c = &mut self.cores[core as usize];
         let Some(chunk) = c.chunks.iter_mut().find(|ch| ch.incarnation == attempt) else {
             return; // stale: chunk was squashed
@@ -426,7 +440,7 @@ impl<'h> Engine<'h> {
         self.try_start_chunk(core);
     }
 
-    fn handle_request(&mut self, core: u32, attempt: u64) {
+    pub(crate) fn handle_request(&mut self, core: u32, attempt: u64) {
         let c = &self.cores[core as usize];
         let Some(chunk) = c.chunks.iter().find(|ch| ch.incarnation == attempt) else {
             return; // stale
@@ -442,7 +456,7 @@ impl<'h> Engine<'h> {
         });
     }
 
-    fn handle_commit_done(&mut self, token: u64) {
+    pub(crate) fn handle_commit_done(&mut self, token: u64) {
         let Some(pos) = self.committing.iter().position(|a| a.token == token) else {
             return;
         };
@@ -461,7 +475,7 @@ impl<'h> Engine<'h> {
         }
     }
 
-    fn handle_irq(&mut self, core: u32) {
+    pub(crate) fn handle_irq(&mut self, core: u32) {
         if self.cores[core as usize].done {
             return;
         }
@@ -489,9 +503,11 @@ impl<'h> Engine<'h> {
         }
     }
 
-    fn handle_dma(&mut self) {
+    /// Ticks the DMA device; returns its next firing cycle ([`NEVER`]
+    /// once the run has drained or the device bank stops).
+    pub(crate) fn handle_dma(&mut self) -> u64 {
         if self.all_done() {
-            return;
+            return NEVER;
         }
         if self.dma_pending.is_none() {
             let data = self.devices.dma_transfer();
@@ -509,8 +525,9 @@ impl<'h> Engine<'h> {
                 arrival: self.arrival_ctr,
             });
         }
-        if let Some(d) = self.devices.next_dma_delay() {
-            self.schedule(self.now + d, Ev::Dma);
+        match self.devices.next_dma_delay() {
+            Some(d) => self.now + d,
+            None => NEVER,
         }
     }
 
@@ -519,12 +536,12 @@ impl<'h> Engine<'h> {
     /// squash/re-execute path under load. Determinism is preserved
     /// because squashed work is simply re-executed — only the commit
     /// order (which the log records) can shift.
-    fn handle_storm(&mut self) {
+    pub(crate) fn handle_storm(&mut self) -> u64 {
         let Some(f) = self.cfg.faults else {
-            return;
+            return NEVER;
         };
         if f.storm_period == 0 || self.cfg.replay {
-            return;
+            return NEVER;
         }
         let n = self.cores.len() as u32;
         for q in 0..n {
@@ -536,8 +553,10 @@ impl<'h> Engine<'h> {
                 self.squash_from(q, pos);
             }
         }
-        if !self.all_done() {
-            self.schedule(self.now + f.storm_period, Ev::Storm);
+        if self.all_done() {
+            NEVER
+        } else {
+            self.now + f.storm_period
         }
     }
 
@@ -602,10 +621,15 @@ impl<'h> Engine<'h> {
                 total_commits: self.gcc,
                 finished: &finished,
             };
-            let Some(choice) = self.hooks.next_grant(&ctx) else {
+            // The backend decides which requests the mode's policy
+            // sees (all of them for the global arbiter, one shard's
+            // worth for the sharded one) and stamps the grant's
+            // provenance.
+            let Some(grant) = self.arbiter.next_grant(&mut *self.hooks, &ctx) else {
                 return;
             };
-            match choice {
+            self.grant_shard = grant.shard;
+            match grant.committer {
                 Committer::Dma => {
                     let (data, device_generated) = match self.dma_pending.take() {
                         Some(d) => (d, true),
@@ -640,7 +664,7 @@ impl<'h> Engine<'h> {
                 }
                 Committer::Proc(p) => {
                     assert!(
-                        ctx.has_pending(choice),
+                        ctx.has_pending(grant.committer),
                         "policy granted processor {p} with no eligible request"
                     );
                     let chunk = &self.cores[p as usize].chunks[0];
@@ -748,6 +772,7 @@ impl<'h> Engine<'h> {
             dma_data: Vec::new(),
             access_lines,
             write_lines,
+            shard: self.grant_shard.take(),
         };
         let wlines = chunk.wlines.clone();
         self.hooks.on_commit(&rec);
@@ -792,6 +817,7 @@ impl<'h> Engine<'h> {
             access_lines: sorted_lines.clone(),
             write_lines: sorted_lines,
             dma_data: data,
+            shard: self.grant_shard.take(),
         };
         self.hooks.on_commit(&rec);
         self.hooks

@@ -77,6 +77,10 @@ pub struct CommitRecord {
     /// Cache lines the chunk wrote (subset of `access_lines`); a
     /// cross-processor *conflict* requires a write on one side.
     pub write_lines: Vec<u64>,
+    /// The arbiter shard that granted this commit (`None` under the
+    /// global arbiter and during replay, which re-serializes through
+    /// the global mechanics).
+    pub shard: Option<u32>,
 }
 
 /// One eligible pending commit request, as the arbiter policy sees it.
@@ -525,6 +529,7 @@ mod tests {
             dma_data: Vec::new(),
             access_lines: vec![4, 5],
             write_lines: vec![5],
+            shard: None,
         }
     }
 

@@ -35,7 +35,7 @@
 //! use delorean_isa::workload::WorkloadSpec;
 //! use delorean_sim::RunSpec;
 //!
-//! let spec = RunSpec::new(WorkloadSpec::test_spec(), 2, 7, 4_000);
+//! let spec = RunSpec::new(WorkloadSpec::test_spec(), 2, 7, 4_000).unwrap();
 //! let cfg = EngineConfig::recording(1_000);
 //! let stats = run(&spec, &cfg, &mut BulkScHooks::default());
 //! assert_eq!(stats.digest.retired, vec![4_000, 4_000]);
@@ -44,6 +44,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arbiter;
+mod components;
 pub mod config;
 pub mod devices;
 mod engine;
@@ -52,7 +54,8 @@ pub mod policy;
 mod spec;
 pub mod stats;
 
-pub use config::{DeviceConfig, EngineConfig, PerturbConfig, SubstrateFaultConfig};
+pub use arbiter::{ArbiterBackend, GlobalArbiter, Grant, ShardedArbiter};
+pub use config::{ArbiterConfig, DeviceConfig, EngineConfig, PerturbConfig, SubstrateFaultConfig};
 pub use engine::{run, run_from, StartState};
 pub use hooks::{
     ArbiterContext, BulkScHooks, CommitRecord, Committer, EventObserver, ExecutionHooks,

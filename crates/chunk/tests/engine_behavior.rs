@@ -10,7 +10,7 @@ use delorean_isa::{AluOp, Inst, Program, ProgramBuilder, Reg};
 use delorean_sim::RunSpec;
 
 fn spec(name: &str, procs: u32, seed: u64, budget: u64) -> RunSpec {
-    RunSpec::new(*workload::by_name(name).unwrap(), procs, seed, budget)
+    RunSpec::new(*workload::by_name(name).unwrap(), procs, seed, budget).unwrap()
 }
 
 #[test]
@@ -28,7 +28,7 @@ fn budget_is_exact_for_every_core() {
 #[test]
 fn all_catalog_workloads_complete_under_chunked_execution() {
     for w in workload::catalog() {
-        let r = RunSpec::new(*w, 2, 11, 3_000);
+        let r = RunSpec::new(*w, 2, 11, 3_000).unwrap();
         let stats = run(&r, &EngineConfig::recording(400), &mut BulkScHooks);
         assert_eq!(stats.digest.retired, vec![3_000; 2], "{}", w.name);
         let expected_chunks: u64 = stats.digest.committed_chunks.iter().sum();
@@ -265,7 +265,7 @@ fn single_core_chunked_stream_matches_plain_vm_execution() {
     use delorean_isa::{FlatMemory, NullIo, Vm};
     let w = *workload::by_name("lu").unwrap();
     let budget = 7_000u64;
-    let r = RunSpec::new(w, 1, 31, budget);
+    let r = RunSpec::new(w, 1, 31, budget).unwrap();
     let stats = run(&r, &EngineConfig::recording(512), &mut BulkScHooks);
 
     let map = AddressMap::new(1);
@@ -382,7 +382,7 @@ fn grant_gap_paces_commits() {
 #[test]
 fn test_spec_runs_with_custom_programs() {
     // Exercise WorkloadSpec::test_spec through the engine as well.
-    let r = RunSpec::new(WorkloadSpec::test_spec(), 2, 1, 2_000);
+    let r = RunSpec::new(WorkloadSpec::test_spec(), 2, 1, 2_000).unwrap();
     let stats = run(&r, &EngineConfig::recording(300), &mut BulkScHooks);
     assert_eq!(stats.digest.retired, vec![2_000; 2]);
 }

@@ -42,7 +42,7 @@ usage:
   delorean list
   delorean record <workload> -o <file> [--mode ordersize|orderonly|picolog]
                   [--procs N] [--budget N] [--chunk N] [--seed N] [--timing-seed N]
-                  [--trace PATH]
+                  [--arbiter global|sharded:K] [--trace PATH]
   delorean info <file>
   delorean replay <file> [--seed N] [--stratified MAX]
   delorean inspect <file> [--watch ADDR]... [--limit N] [--json]
@@ -166,13 +166,20 @@ fn cmd_record(args: &Args) -> Result<(), String> {
         .unwrap_or(Mode::OrderOnly);
     let mut b = Machine::builder();
     b.mode(mode);
-    b.procs(args.num("--procs")?.unwrap_or(8) as u32);
+    let procs = args.num("--procs")?.unwrap_or(8) as u32;
+    delorean::validate_procs(procs).map_err(|e| format!("bad --procs: {e}"))?;
+    b.procs(procs);
     b.budget(args.num("--budget")?.unwrap_or(50_000));
     if let Some(c) = args.num("--chunk")? {
         b.chunk_size(c as u32);
     }
     if let Some(t) = args.num("--timing-seed")? {
         b.timing_seed(t);
+    }
+    if let Some(a) = args.get("--arbiter") {
+        let arbiter = delorean::ArbiterConfig::parse(&a)
+            .ok_or_else(|| format!("bad --arbiter {a} (use global or sharded:K, K in 1..=256)"))?;
+        b.arbiter(arbiter);
     }
     let machine = b.build();
     let seed = args.num("--seed")?.unwrap_or(2026);
@@ -228,6 +235,7 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     println!("processors  : {}", r.n_procs);
     println!("chunk size  : {}", r.chunk_size);
     println!("budget      : {} instructions/processor", r.budget);
+    println!("arbiter     : {}", r.arbiter);
     println!("checkpoint  : {:#018x}", r.checkpoint.id());
     let s = r.memory_ordering_sizes();
     println!(
@@ -508,6 +516,7 @@ fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
 fn cmd_crashtest(args: &Args) -> Result<ExitCode, String> {
     let mut cfg = delorean_faults::CrashtestConfig::smoke(args.num("--seed")?.unwrap_or(42));
     if let Some(n) = args.num("--procs")? {
+        delorean::validate_procs(n as u32).map_err(|e| format!("bad --procs: {e}"))?;
         cfg.procs = n as u32;
     }
     if let Some(n) = args.num("--budget")? {

@@ -75,7 +75,8 @@ pub use stream::{
 
 // Re-export the substrate types users need at the API boundary.
 pub use delorean_chunk::{
-    EventObserver, GrantPolicy, HookStack, ModeDriver, ReplayFeed, RunStats, StateDigest,
-    SubstrateEvent,
+    ArbiterConfig, EventObserver, GrantPolicy, HookStack, ModeDriver, ReplayFeed, RunStats,
+    StateDigest, SubstrateEvent,
 };
 pub use delorean_isa::workload::WorkloadSpec;
+pub use delorean_sim::{validate_procs, SpecError, MAX_PROCS};

@@ -9,7 +9,8 @@ use crate::session::Session;
 use crate::stratify::{StratifiedPiLog, Stratifier};
 use crate::stream::{LogSink, LogSource, MemorySink, MemorySource};
 use delorean_chunk::{
-    Committer, DeviceConfig, EngineConfig, RunStats, StartState, StateDigest, SubstrateFaultConfig,
+    ArbiterConfig, Committer, DeviceConfig, EngineConfig, RunStats, StartState, StateDigest,
+    SubstrateFaultConfig,
 };
 use delorean_isa::workload::{WorkloadKind, WorkloadSpec};
 use delorean_sim::RunSpec;
@@ -33,6 +34,9 @@ pub struct Recording {
     pub app_seed: u64,
     /// Device activity during the recording.
     pub devices: DeviceConfig,
+    /// Commit-arbitration topology the recording was made under
+    /// (replay always re-serializes through the global arbiter).
+    pub arbiter: ArbiterConfig,
     /// The checkpoint the interval starts from.
     pub checkpoint: SystemCheckpoint,
     /// For interval recordings: the mid-execution architectural state
@@ -116,7 +120,12 @@ impl Recording {
     }
 
     pub(crate) fn run_spec(&self) -> RunSpec {
+        // A Recording only exists for a machine the builder (or the
+        // stream decoder) already validated, so the spec is well-formed
+        // by construction.
+        #[allow(clippy::expect_used)]
         RunSpec::new(self.workload, self.n_procs, self.app_seed, self.budget)
+            .expect("recording carries a validated machine shape")
     }
 
     /// Replays the recording in software up to Global Commit Count
@@ -189,6 +198,7 @@ pub struct Machine {
     overflow_noise: f64,
     simultaneous_chunks: Option<u32>,
     substrate_faults: Option<SubstrateFaultConfig>,
+    arbiter: ArbiterConfig,
 }
 
 impl Machine {
@@ -218,6 +228,11 @@ impl Machine {
         self.budget
     }
 
+    /// The commit-arbitration backend recordings run under.
+    pub fn arbiter(&self) -> ArbiterConfig {
+        self.arbiter
+    }
+
     fn device_config(&self, workload: &WorkloadSpec) -> DeviceConfig {
         self.devices.unwrap_or(match workload.kind {
             WorkloadKind::Splash => DeviceConfig::none(),
@@ -229,6 +244,7 @@ impl Machine {
     pub fn recording_config(&self, workload: &WorkloadSpec) -> EngineConfig {
         let mut cfg = EngineConfig::recording(self.chunk_size);
         cfg.machine.n_procs = self.n_procs;
+        cfg.arbiter = self.arbiter;
         cfg.timing_seed = self.timing_seed;
         cfg.overflow_noise = self.overflow_noise;
         cfg.devices = self.device_config(workload);
@@ -554,6 +570,7 @@ pub struct MachineBuilder {
     overflow_noise: f64,
     simultaneous_chunks: Option<u32>,
     substrate_faults: Option<SubstrateFaultConfig>,
+    arbiter: ArbiterConfig,
 }
 
 impl Default for MachineBuilder {
@@ -568,6 +585,7 @@ impl Default for MachineBuilder {
             overflow_noise: EngineConfig::recording(1).overflow_noise,
             simultaneous_chunks: None,
             substrate_faults: None,
+            arbiter: ArbiterConfig::Global,
         }
     }
 }
@@ -583,9 +601,14 @@ impl MachineBuilder {
     ///
     /// # Panics
     ///
-    /// Panics if `n` is zero.
+    /// Panics if `n` is zero or exceeds the machine-wide
+    /// [`MAX_PROCS`](delorean_sim::MAX_PROCS) ceiling of 256 cores.
     pub fn procs(&mut self, n: u32) -> &mut Self {
-        assert!(n > 0, "need at least one processor");
+        assert!(
+            delorean_sim::validate_procs(n).is_ok(),
+            "processor count must be 1..={}",
+            delorean_sim::MAX_PROCS
+        );
         self.n_procs = n;
         self
     }
@@ -636,6 +659,15 @@ impl MachineBuilder {
         self
     }
 
+    /// Selects the commit-arbitration backend used while recording
+    /// (default: the single global arbiter). Replay ignores this and
+    /// always re-serializes through the global arbiter, consuming the
+    /// recorded total order.
+    pub fn arbiter(&mut self, arbiter: ArbiterConfig) -> &mut Self {
+        self.arbiter = arbiter;
+        self
+    }
+
     /// Injects deterministic substrate-level faults while recording
     /// (squash storms, forced non-deterministic truncations, device
     /// bursts). Replay is unaffected: the recorded logs carry every
@@ -660,6 +692,7 @@ impl MachineBuilder {
             overflow_noise: self.overflow_noise,
             simultaneous_chunks: self.simultaneous_chunks,
             substrate_faults: self.substrate_faults,
+            arbiter: self.arbiter,
         }
     }
 }

@@ -112,6 +112,7 @@ mod tests {
 
     fn commit(p: u32, index: u64, size: u32, reason: TruncationReason) -> CommitRecord {
         CommitRecord {
+            shard: None,
             committer: Committer::Proc(p),
             chunk_index: index,
             size,
@@ -155,6 +156,7 @@ mod tests {
         let mut r = Recorder::new(Mode::PicoLog, 2, 1000);
         EventObserver::on_commit(&mut r, &commit(0, 1, 1000, TruncationReason::StandardSize));
         let dma = CommitRecord {
+            shard: None,
             committer: Committer::Dma,
             chunk_index: 0,
             size: 0,

@@ -1024,12 +1024,14 @@ mod tests {
     use super::*;
     use crate::stream::{CommitBridge, FileSink, LogSink, StreamTrailer};
     use delorean_chunk::{
-        CommitRecord, DeviceConfig, ParallelStats, RunStats, StateDigest, TruncationReason,
+        ArbiterConfig, CommitRecord, DeviceConfig, ParallelStats, RunStats, StateDigest,
+        TruncationReason,
     };
     use delorean_isa::workload;
 
     fn proc_record(p: u32, index: u64) -> CommitRecord {
         CommitRecord {
+            shard: None,
             committer: Committer::Proc(p),
             chunk_index: index,
             size: 500,
@@ -1054,6 +1056,7 @@ mod tests {
             devices: DeviceConfig::none(),
             initial_mem_hash: 0,
             interval: None,
+            arbiter: ArbiterConfig::Global,
         }
     }
 

@@ -278,6 +278,7 @@ mod tests {
             EventObserver::on_commit(
                 &mut r,
                 &CommitRecord {
+                    shard: None,
                     committer: c,
                     chunk_index: i as u64 / 2 + 1,
                     size: 1000,
@@ -351,6 +352,7 @@ mod tests {
         EventObserver::on_commit(
             &mut rp,
             &CommitRecord {
+                shard: None,
                 committer: Committer::Proc(0),
                 chunk_index: 1,
                 size: 1000,

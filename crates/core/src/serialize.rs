@@ -39,6 +39,9 @@ pub enum DecodeError {
     Truncated(&'static str),
     /// The recording references a workload this build does not know.
     UnknownWorkload(String),
+    /// The header carries an arbiter-topology tag this build does not
+    /// understand (written by a newer or foreign recorder).
+    UnknownTopology(u8),
     /// The underlying reader failed with an I/O error.
     Io(String),
     /// The input is zero-length — not a recording at all.
@@ -57,6 +60,9 @@ impl core::fmt::Display for DecodeError {
             DecodeError::Truncated(what) => write!(f, "truncated or malformed field: {what}"),
             DecodeError::UnknownWorkload(name) => {
                 write!(f, "recording references unknown workload {name}")
+            }
+            DecodeError::UnknownTopology(tag) => {
+                write!(f, "unknown arbiter-topology tag {tag} in stream header")
             }
             DecodeError::Io(detail) => write!(f, "log stream read failed: {detail}"),
             DecodeError::Empty => write!(f, "empty input: not a recording"),

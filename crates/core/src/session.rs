@@ -224,8 +224,12 @@ impl<'m, 's> Session<'m, 's> {
             devices: cfg.devices,
             initial_mem_hash: checkpoint.initial_mem_hash,
             interval: None,
+            arbiter: m.arbiter(),
         };
-        let spec = RunSpec::new(*workload, m.procs(), app_seed, m.budget());
+        // The machine builder already validated procs and budget.
+        #[allow(clippy::expect_used)]
+        let spec = RunSpec::new(*workload, m.procs(), app_seed, m.budget())
+            .expect("machine builder validated the shape");
         self.run_recording(meta, &cfg, &spec, sink)
     }
 
@@ -268,8 +272,13 @@ impl<'m, 's> Session<'m, 's> {
             devices: cfg.devices,
             initial_mem_hash: checkpoint.initial_mem_hash,
             interval: Some(ck.state.clone()),
+            arbiter: m.arbiter(),
         };
-        let spec = RunSpec::new(ck.workload, m.procs(), ck.app_seed, budget);
+        // Budget is `max_retired + extra_budget` with `extra_budget`
+        // asserted positive above; the builder validated procs.
+        #[allow(clippy::expect_used)]
+        let spec = RunSpec::new(ck.workload, m.procs(), ck.app_seed, budget)
+            .expect("machine builder validated the shape");
         Ok(self.run_recording(meta, &cfg, &spec, sink))
     }
 
@@ -332,7 +341,11 @@ impl<'m, 's> Session<'m, 's> {
             });
         }
         let cfg = m.replay_config_for(&meta.workload, meta.chunk_size, meta.devices, timing_seed);
-        let spec = RunSpec::new(meta.workload, m.procs(), meta.app_seed, meta.budget);
+        // The stream decoder bounds n_procs and budget before `meta`
+        // exists, and this machine's shape was checked against it.
+        #[allow(clippy::expect_used)]
+        let spec = RunSpec::new(meta.workload, m.procs(), meta.app_seed, meta.budget)
+            .expect("stream decoder validated the shape");
         let replayer = Replayer::from_source(source);
         let (mut source, stats, divergence) =
             self.run_replay(&meta, &cfg, &spec, meta.interval.as_ref(), replayer)?;

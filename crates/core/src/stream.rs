@@ -42,8 +42,8 @@ use crate::wire::{
     fnv_hasher, mode_from, mode_tag, Reader, Writer, MAGIC, SEG_EVENTS, SEG_TRAILER, VERSION,
 };
 use delorean_chunk::{
-    policy, ArbiterContext, CommitRecord, Committer, DeviceConfig, EventObserver, ExecutionHooks,
-    GrantPolicy, ParallelStats, ReplayFeed, RunStats, StartState, StateDigest,
+    policy, ArbiterConfig, ArbiterContext, CommitRecord, Committer, DeviceConfig, EventObserver,
+    ExecutionHooks, GrantPolicy, ParallelStats, ReplayFeed, RunStats, StartState, StateDigest,
 };
 use delorean_isa::workload::{self, WorkloadSpec};
 use delorean_isa::{Addr, Word};
@@ -135,6 +135,14 @@ const TAG_DMA: u8 = 1 << 0;
 const TAG_CS: u8 = 1 << 1;
 const TAG_IRQ: u8 = 1 << 2;
 const TAG_IO: u8 = 1 << 3;
+/// The event carries the granting shard's index (sharded-arbiter
+/// recordings only; global-arbiter streams never set this bit, keeping
+/// their byte encoding identical to pre-topology writers).
+const TAG_SHARD: u8 = 1 << 4;
+
+/// Header tag introducing a sharded arbiter-topology block. The global
+/// topology writes no block at all, so legacy streams decode unchanged.
+const TOPOLOGY_SHARDED: u8 = 1;
 
 // ---------------------------------------------------------------------------
 // Stream data types
@@ -162,6 +170,8 @@ pub struct StreamMeta {
     pub initial_mem_hash: u64,
     /// Mid-execution start state for interval recordings.
     pub interval: Option<StartState>,
+    /// Commit-arbitration topology the stream was recorded under.
+    pub arbiter: ArbiterConfig,
 }
 
 impl StreamMeta {
@@ -177,6 +187,7 @@ impl StreamMeta {
             devices: rec.devices,
             initial_mem_hash: rec.checkpoint.initial_mem_hash,
             interval: rec.interval.clone(),
+            arbiter: rec.arbiter,
         }
     }
 
@@ -219,6 +230,9 @@ pub struct LogEvent {
     pub access_lines: Vec<u64>,
     /// Written cache lines (PI modes only), sorted.
     pub write_lines: Vec<u64>,
+    /// Index of the arbiter shard that granted the commit (`None` under
+    /// the global arbiter and in replayed streams).
+    pub shard: Option<u32>,
 }
 
 // ---------------------------------------------------------------------------
@@ -293,6 +307,7 @@ impl CommitBridge {
             committer: rec.committer,
             chunk_index: rec.chunk_index,
             cs_size,
+            shard: rec.shard,
             interrupt: rec.interrupt,
             io_values: rec.io_values.clone(),
             dma_data: rec.dma_data.clone(),
@@ -451,6 +466,7 @@ impl MemorySink {
             devices: meta.devices,
             checkpoint,
             interval: meta.interval,
+            arbiter: meta.arbiter,
             logs: self.logs,
             stats: trailer.stats,
         })
@@ -558,6 +574,13 @@ fn encode_meta(meta: &StreamMeta) -> Vec<u8> {
             }
         }
     }
+    // Arbiter topology rides at the tail so global-arbiter streams stay
+    // byte-identical to pre-topology writers: Global appends nothing,
+    // Sharded appends a tag byte and the shard count.
+    if let ArbiterConfig::Sharded { shards } = meta.arbiter {
+        w.u8(TOPOLOGY_SHARDED);
+        w.u32(shards);
+    }
     w.buf
 }
 
@@ -565,7 +588,7 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<StreamMeta, DecodeError> {
     let mut r = Reader::new(bytes);
     let mode = mode_from(r.u8("mode")?)?;
     let n_procs = r.u32("n_procs")?;
-    if n_procs == 0 || n_procs > 1024 {
+    if delorean_sim::validate_procs(n_procs).is_err() {
         return Err(DecodeError::Truncated("n_procs"));
     }
     let chunk_size = r.u32("chunk_size")?;
@@ -610,6 +633,22 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<StreamMeta, DecodeError> {
         }
         _ => return Err(DecodeError::Truncated("interval flag")),
     };
+    // Legacy (and global-arbiter) streams end here; a trailing topology
+    // block identifies a sharded recording.
+    let arbiter = if r.done() {
+        ArbiterConfig::Global
+    } else {
+        match r.u8("arbiter topology tag")? {
+            TOPOLOGY_SHARDED => {
+                let shards = r.u32("arbiter shards")?;
+                if shards == 0 || shards > delorean_sim::MAX_PROCS {
+                    return Err(DecodeError::Truncated("arbiter shards"));
+                }
+                ArbiterConfig::Sharded { shards }
+            }
+            tag => return Err(DecodeError::UnknownTopology(tag)),
+        }
+    };
     if !r.done() {
         return Err(DecodeError::Truncated("metadata trailing bytes"));
     }
@@ -623,13 +662,21 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<StreamMeta, DecodeError> {
         devices,
         initial_mem_hash,
         interval,
+        arbiter,
     })
 }
 
 fn encode_event(ev: &LogEvent, has_pi: bool, w: &mut Writer) {
     match ev.committer {
         Committer::Dma => {
-            w.u8(TAG_DMA);
+            let mut tag = TAG_DMA;
+            if ev.shard.is_some() {
+                tag |= TAG_SHARD;
+            }
+            w.u8(tag);
+            if let Some(shard) = ev.shard {
+                w.u32(shard);
+            }
             w.u32(ev.dma_data.len() as u32);
             for &(a, v) in &ev.dma_data {
                 w.u64(a);
@@ -647,8 +694,14 @@ fn encode_event(ev: &LogEvent, has_pi: bool, w: &mut Writer) {
             if !ev.io_values.is_empty() {
                 tag |= TAG_IO;
             }
+            if ev.shard.is_some() {
+                tag |= TAG_SHARD;
+            }
             w.u8(tag);
             w.u16(p as u16);
+            if let Some(shard) = ev.shard {
+                w.u32(shard);
+            }
             if let Some(size) = ev.cs_size {
                 w.u32(size);
             }
@@ -706,9 +759,14 @@ pub(crate) fn decode_event(
     let has_pi = mode.has_pi_log();
     let tag = r.u8("event tag")?;
     if tag & TAG_DMA != 0 {
-        if tag != TAG_DMA {
+        if tag & !(TAG_DMA | TAG_SHARD) != 0 {
             return Err(DecodeError::Truncated("event tag"));
         }
+        let shard = if tag & TAG_SHARD != 0 {
+            Some(r.u32("event shard")?)
+        } else {
+            None
+        };
         let n = r.u32("dma words")? as usize;
         let mut data = Vec::new();
         for _ in 0..n {
@@ -724,15 +782,21 @@ pub(crate) fn decode_event(
             dma_data: data,
             access_lines,
             write_lines,
+            shard,
         });
     }
-    if tag & !(TAG_CS | TAG_IRQ | TAG_IO) != 0 {
+    if tag & !(TAG_CS | TAG_IRQ | TAG_IO | TAG_SHARD) != 0 {
         return Err(DecodeError::Truncated("event tag"));
     }
     let core = u32::from(r.u16("event core")?);
     if core >= n_procs {
         return Err(DecodeError::Truncated("event core"));
     }
+    let shard = if tag & TAG_SHARD != 0 {
+        Some(r.u32("event shard")?)
+    } else {
+        None
+    };
     let cs_size = if tag & TAG_CS != 0 {
         Some(r.u32("cs size")?)
     } else {
@@ -768,6 +832,7 @@ pub(crate) fn decode_event(
         dma_data: Vec::new(),
         access_lines,
         write_lines,
+        shard,
     })
 }
 
@@ -1126,6 +1191,9 @@ fn for_each_event(rec: &Recording, mut f: impl FnMut(LogEvent)) {
             dma_data: Vec::new(),
             access_lines: access,
             write_lines: writes,
+            // In-memory logs keep no shard stamps; streams rebuilt from
+            // a `Recording` are unstamped.
+            shard: None,
         }
     };
     if rec.mode.has_pi_log() {
@@ -1159,6 +1227,7 @@ fn for_each_event(rec: &Recording, mut f: impl FnMut(LogEvent)) {
                         dma_data: data,
                         access_lines: access,
                         write_lines: writes,
+                        shard: None,
                     });
                 }
             }
@@ -1189,6 +1258,7 @@ fn for_each_event(rec: &Recording, mut f: impl FnMut(LogEvent)) {
                     dma_data: data,
                     access_lines: Vec::new(),
                     write_lines: Vec::new(),
+                    shard: None,
                 });
                 continue;
             }
@@ -1919,6 +1989,7 @@ mod tests {
 
     fn proc_record(p: u32, index: u64) -> CommitRecord {
         CommitRecord {
+            shard: None,
             committer: Committer::Proc(p),
             chunk_index: index,
             size: 500,
@@ -1943,6 +2014,7 @@ mod tests {
             devices: DeviceConfig::none(),
             initial_mem_hash: 0,
             interval: None,
+            arbiter: ArbiterConfig::Global,
         }
     }
 
@@ -1968,6 +2040,7 @@ mod tests {
         let events = vec![
             bridge.convert(&proc_record(2, 1)),
             bridge.convert(&CommitRecord {
+                shard: None,
                 committer: Committer::Dma,
                 chunk_index: 0,
                 size: 0,
@@ -2002,6 +2075,90 @@ mod tests {
         assert_eq!(back.n_procs, 3);
         assert_eq!(back.workload.name, "lu");
         assert!(back.interval.is_none());
+        assert_eq!(back.arbiter, ArbiterConfig::Global);
+    }
+
+    #[test]
+    fn meta_topology_round_trips_and_stays_legacy_compatible() {
+        // Global writes no topology block: its metadata must decode as
+        // Global even through a legacy-shaped (topology-free) buffer.
+        let global = test_meta(Mode::OrderOnly, 2);
+        let global_bytes = encode_meta(&global);
+
+        let mut sharded = test_meta(Mode::OrderOnly, 2);
+        sharded.arbiter = ArbiterConfig::Sharded { shards: 4 };
+        let sharded_bytes = encode_meta(&sharded);
+        assert_eq!(
+            sharded_bytes.len(),
+            global_bytes.len() + 5,
+            "sharded topology is exactly one tag byte plus the u32 count"
+        );
+        assert_eq!(
+            &sharded_bytes[..global_bytes.len()],
+            &global_bytes[..],
+            "the topology block rides strictly at the tail"
+        );
+        let back = decode_meta(&sharded_bytes).unwrap();
+        assert_eq!(back.arbiter, ArbiterConfig::Sharded { shards: 4 });
+    }
+
+    #[test]
+    fn unknown_topology_tag_is_a_typed_error() {
+        let mut meta = test_meta(Mode::OrderOnly, 2);
+        meta.arbiter = ArbiterConfig::Sharded { shards: 4 };
+        let mut bytes = encode_meta(&meta);
+        let tag_at = bytes.len() - 5;
+        bytes[tag_at] = 9;
+        assert!(matches!(
+            decode_meta(&bytes),
+            Err(DecodeError::UnknownTopology(9))
+        ));
+    }
+
+    #[test]
+    fn shard_counts_are_bounded_on_decode() {
+        let mut meta = test_meta(Mode::OrderOnly, 2);
+        meta.arbiter = ArbiterConfig::Sharded { shards: 4 };
+        let mut bytes = encode_meta(&meta);
+        let len = bytes.len();
+        bytes[len - 4..].copy_from_slice(&0u32.to_le_bytes());
+        assert!(decode_meta(&bytes).is_err(), "zero shards must be rejected");
+    }
+
+    #[test]
+    fn event_codec_round_trips_shard_stamps() {
+        let ev = LogEvent {
+            committer: Committer::Proc(1),
+            chunk_index: 1,
+            cs_size: Some(500),
+            interrupt: None,
+            io_values: Vec::new(),
+            dma_data: Vec::new(),
+            access_lines: vec![3],
+            write_lines: vec![3],
+            shard: Some(2),
+        };
+        let dma = LogEvent {
+            committer: Committer::Dma,
+            chunk_index: 0,
+            cs_size: None,
+            interrupt: None,
+            io_values: Vec::new(),
+            dma_data: vec![(10, 20)],
+            access_lines: vec![1],
+            write_lines: vec![1],
+            shard: Some(0),
+        };
+        let mut w = Writer::new();
+        encode_event(&ev, true, &mut w);
+        encode_event(&dma, true, &mut w);
+        let mut counters = vec![0u64; 4];
+        let mut r = Reader::new(&w.buf);
+        let a = decode_event(&mut r, Mode::OrderOnly, 4, &mut counters).unwrap();
+        let b = decode_event(&mut r, Mode::OrderOnly, 4, &mut counters).unwrap();
+        assert!(r.done());
+        assert_eq!(a, ev);
+        assert_eq!(b, dma);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! The discrete-event component abstraction the execution engines
+//! schedule.
+//!
+//! A [`Component`] is one actor of a simulated machine — a per-processor
+//! chunk executor, an interrupt controller, a DMA device, a commit
+//! arbiter. Components do not call each other directly; they are driven
+//! by a [`Scheduler`](crate::scheduler::Scheduler), which delivers each
+//! component its due events in a deterministic total order and lets the
+//! component post future work.
+//!
+//! Two component styles coexist on one scheduler:
+//!
+//! * **Reactive** components run only when an event is posted to them
+//!   (their [`Component::next_tick`] is [`NEVER`]); they may post
+//!   events — to themselves or to other components — through whatever
+//!   context `Ctx` the embedding engine supplies.
+//! * **Proactive** components self-schedule: [`Component::tick`]
+//!   returns the next simulated cycle at which the component wants to
+//!   run again ([`NEVER`] to go idle), and the driver re-arms them.
+//!
+//! The trait is generic over the context type `Ctx` so that an engine
+//! can hand its components exactly the state slice they are allowed to
+//! touch, without this crate knowing anything about chunks, logs or
+//! arbiters.
+
+/// The "never" tick: a component returning this from
+/// [`Component::tick`] (or reporting it from [`Component::next_tick`])
+/// has no self-scheduled future work.
+pub const NEVER: u64 = u64::MAX;
+
+/// Stable identity of a schedulable component within one machine.
+///
+/// The id participates in the scheduler's deterministic tie-break (see
+/// [`crate::scheduler`]) and doubles as the component's index in the
+/// engine's component table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(u32);
+
+impl ComponentId {
+    /// Builds an id from its raw index.
+    pub const fn new(raw: u32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The id as a `usize` index into a component table.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// One schedulable actor of a simulated machine.
+pub trait Component<Ctx> {
+    /// This component's stable identity.
+    fn id(&self) -> ComponentId;
+
+    /// The next simulated cycle this component wants to run at on its
+    /// own initiative, or [`NEVER`]. Purely informational for reactive
+    /// components; the driver uses it to prime proactive components.
+    fn next_tick(&self) -> u64;
+
+    /// Runs the component at the scheduler's current tick. Returns the
+    /// next self-scheduled tick ([`NEVER`] to go idle); event-driven
+    /// work is posted through `ctx` instead.
+    fn tick(&mut self, ctx: &mut Ctx) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+    use super::*;
+
+    struct Pulse {
+        id: ComponentId,
+        period: u64,
+        next: u64,
+    }
+
+    impl Component<Vec<(u64, u32)>> for Pulse {
+        fn id(&self) -> ComponentId {
+            self.id
+        }
+        fn next_tick(&self) -> u64 {
+            self.next
+        }
+        fn tick(&mut self, log: &mut Vec<(u64, u32)>) -> u64 {
+            log.push((self.next, self.id.raw()));
+            self.next += self.period;
+            self.next
+        }
+    }
+
+    #[test]
+    fn component_id_is_ordered_and_indexable() {
+        assert!(ComponentId::new(1) < ComponentId::new(2));
+        assert_eq!(ComponentId::new(7).index(), 7);
+        assert_eq!(ComponentId::new(7).raw(), 7);
+        assert_eq!(ComponentId::new(3).to_string(), "c3");
+    }
+
+    #[test]
+    fn proactive_component_reports_and_advances_its_tick() {
+        let mut p = Pulse {
+            id: ComponentId::new(0),
+            period: 10,
+            next: 5,
+        };
+        let mut log = Vec::new();
+        assert_eq!(p.next_tick(), 5);
+        assert_eq!(p.tick(&mut log), 15);
+        assert_eq!(p.tick(&mut log), 25);
+        assert_eq!(log, vec![(5, 0), (15, 0)]);
+    }
+}

@@ -2,6 +2,64 @@
 
 use delorean_mem::CacheConfig;
 
+/// Largest processor count the machine model supports. Everything that
+/// scales with core count — the address map, the memory system, the
+/// sharded arbiter, the trace emitter — is validated against this one
+/// ceiling.
+pub const MAX_PROCS: u32 = 256;
+
+/// A machine/run specification was structurally invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// Zero processors requested.
+    ZeroProcs,
+    /// More processors requested than the model supports.
+    TooManyProcs {
+        /// The requested count.
+        requested: u32,
+        /// The supported ceiling ([`MAX_PROCS`]).
+        max: u32,
+    },
+    /// Zero per-processor instruction budget requested.
+    ZeroBudget,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroProcs => write!(f, "need at least one processor"),
+            Self::TooManyProcs { requested, max } => {
+                write!(
+                    f,
+                    "{requested} processors requested, but at most {max} are supported"
+                )
+            }
+            Self::ZeroBudget => write!(f, "budget must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Checks a processor count against the supported range
+/// `1..=MAX_PROCS`.
+///
+/// # Errors
+///
+/// Returns [`SpecError::ZeroProcs`] or [`SpecError::TooManyProcs`].
+pub fn validate_procs(n_procs: u32) -> Result<(), SpecError> {
+    if n_procs == 0 {
+        return Err(SpecError::ZeroProcs);
+    }
+    if n_procs > MAX_PROCS {
+        return Err(SpecError::TooManyProcs {
+            requested: n_procs,
+            max: MAX_PROCS,
+        });
+    }
+    Ok(())
+}
+
 /// Baseline architecture configuration (Table 5 of the paper).
 ///
 /// # Examples
@@ -55,17 +113,36 @@ impl Default for MachineConfig {
 
 impl MachineConfig {
     /// The Table-5 configuration with a different processor count
-    /// (Figure 12 sweeps 4/8/16).
-    pub fn with_procs(n_procs: u32) -> Self {
-        Self {
-            n_procs,
-            ..Self::default()
-        }
+    /// (Figure 12 sweeps 4/8/16; the scaling study goes to 256).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for 0 or more than [`MAX_PROCS`]
+    /// processors.
+    pub fn with_procs(n_procs: u32) -> Result<Self, SpecError> {
+        Self::default().try_procs(n_procs)
+    }
+
+    /// Sets the processor count, validating it against the supported
+    /// `1..=MAX_PROCS` range. This is *the* constructor every
+    /// `with_procs`-style builder in the workspace funnels through.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for 0 or more than [`MAX_PROCS`]
+    /// processors.
+    pub fn try_procs(mut self, n_procs: u32) -> Result<Self, SpecError> {
+        validate_procs(n_procs)?;
+        self.n_procs = n_procs;
+        Ok(self)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // Test code may panic freely.
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
     use super::*;
 
     #[test]
@@ -81,8 +158,24 @@ mod tests {
 
     #[test]
     fn with_procs_overrides_count_only() {
-        let m = MachineConfig::with_procs(16);
+        let m = MachineConfig::with_procs(16).unwrap();
         assert_eq!(m.n_procs, 16);
         assert_eq!(m.ghz, 5.0);
+    }
+
+    #[test]
+    fn procs_are_validated_against_the_ceiling() {
+        assert_eq!(
+            MachineConfig::with_procs(0).unwrap_err(),
+            SpecError::ZeroProcs
+        );
+        assert_eq!(
+            MachineConfig::with_procs(MAX_PROCS + 1).unwrap_err(),
+            SpecError::TooManyProcs {
+                requested: 257,
+                max: 256
+            }
+        );
+        assert_eq!(MachineConfig::with_procs(MAX_PROCS).unwrap().n_procs, 256);
     }
 }

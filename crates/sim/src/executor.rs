@@ -86,7 +86,7 @@ pub struct ExecResult {
 /// ```
 /// use delorean_isa::workload::WorkloadSpec;
 /// use delorean_sim::{ConsistencyModel, Executor, RunSpec};
-/// let run = RunSpec::new(WorkloadSpec::test_spec(), 2, 1, 2_000);
+/// let run = RunSpec::new(WorkloadSpec::test_spec(), 2, 1, 2_000).unwrap();
 /// let res = Executor::new(ConsistencyModel::Rc).run(&run);
 /// assert_eq!(res.retired, vec![2_000, 2_000]);
 /// ```
@@ -211,7 +211,7 @@ mod tests {
     use delorean_isa::workload::{self, WorkloadSpec};
 
     fn small_run(name: &str, procs: u32, budget: u64) -> RunSpec {
-        RunSpec::new(*workload::by_name(name).unwrap(), procs, 33, budget)
+        RunSpec::new(*workload::by_name(name).unwrap(), procs, 33, budget).unwrap()
     }
 
     #[test]
@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn budget_is_respected_exactly() {
-        let run = RunSpec::new(WorkloadSpec::test_spec(), 3, 5, 1_000);
+        let run = RunSpec::new(WorkloadSpec::test_spec(), 3, 5, 1_000).unwrap();
         let r = Executor::new(ConsistencyModel::Rc).run(&run);
         assert_eq!(r.retired, vec![1_000; 3]);
     }
@@ -255,7 +255,7 @@ mod tests {
 
     #[test]
     fn sink_sees_all_mem_ops() {
-        let run = RunSpec::new(WorkloadSpec::test_spec(), 2, 9, 2_000);
+        let run = RunSpec::new(WorkloadSpec::test_spec(), 2, 9, 2_000).unwrap();
         let mut sink = VecSink::default();
         let r = Executor::new(ConsistencyModel::Sc).run_with(&run, &mut sink);
         assert_eq!(r.mem_ops, sink.0.len() as u64);

@@ -17,7 +17,7 @@
 //! use delorean_isa::workload;
 //! use delorean_sim::{ConsistencyModel, Executor, RunSpec};
 //!
-//! let run = RunSpec::new(workload::by_name("lu").unwrap().clone(), 2, 42, 5_000);
+//! let run = RunSpec::new(workload::by_name("lu").unwrap().clone(), 2, 42, 5_000).unwrap();
 //! let rc = Executor::new(ConsistencyModel::Rc).run(&run);
 //! let sc = Executor::new(ConsistencyModel::Sc).run(&run);
 //! assert!(sc.cycles >= rc.cycles, "aggressive SC is never faster than RC");
@@ -26,13 +26,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod component;
 pub mod config;
 mod devices;
 mod executor;
 mod memsys;
+pub mod scheduler;
 mod timing;
 
-pub use config::MachineConfig;
+pub use component::{Component, ComponentId, NEVER};
+pub use config::{validate_procs, MachineConfig, SpecError, MAX_PROCS};
 pub use devices::SeededDevices;
 pub use executor::{
     AccessRecord, AccessSink, ConsistencyModel, ExecResult, Executor, NullSink, VecSink,
@@ -56,23 +59,26 @@ pub struct RunSpec {
 impl RunSpec {
     /// Creates a run spec.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n_procs` or `budget` is zero.
+    /// Returns [`SpecError`] if `n_procs` is zero or above
+    /// [`MAX_PROCS`], or if `budget` is zero.
     pub fn new(
         workload: delorean_isa::workload::WorkloadSpec,
         n_procs: u32,
         seed: u64,
         budget: u64,
-    ) -> Self {
-        assert!(n_procs > 0, "need at least one processor");
-        assert!(budget > 0, "budget must be positive");
-        Self {
+    ) -> Result<Self, SpecError> {
+        validate_procs(n_procs)?;
+        if budget == 0 {
+            return Err(SpecError::ZeroBudget);
+        }
+        Ok(Self {
             workload,
             n_procs,
             seed,
             budget,
-        }
+        })
     }
 
     /// Total machine-wide instruction budget.

@@ -25,7 +25,7 @@ pub enum AccessClass {
 ///
 /// ```
 /// use delorean_sim::{MachineConfig, MemorySystem, AccessClass};
-/// let mut ms = MemorySystem::new(&MachineConfig::with_procs(2));
+/// let mut ms = MemorySystem::new(&MachineConfig::with_procs(2).unwrap());
 /// assert_eq!(ms.access(0, 5), AccessClass::Mem); // cold
 /// assert_eq!(ms.access(0, 5), AccessClass::L1);
 /// assert_eq!(ms.access(1, 5), AccessClass::L2);  // other core's L1 misses
@@ -106,7 +106,7 @@ mod tests {
 
     #[test]
     fn miss_counters_track() {
-        let mut ms = MemorySystem::new(&MachineConfig::with_procs(1));
+        let mut ms = MemorySystem::new(&MachineConfig::with_procs(1).unwrap());
         ms.access(0, 1);
         ms.access(0, 1);
         let (a, m1, m2) = ms.stats();
@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn flush_cools_caches() {
-        let mut ms = MemorySystem::new(&MachineConfig::with_procs(1));
+        let mut ms = MemorySystem::new(&MachineConfig::with_procs(1).unwrap());
         ms.access(0, 1);
         ms.flush();
         assert_eq!(ms.access(0, 1), AccessClass::Mem);
@@ -125,7 +125,7 @@ mod tests {
 
     #[test]
     fn l2_shared_across_cores() {
-        let mut ms = MemorySystem::new(&MachineConfig::with_procs(2));
+        let mut ms = MemorySystem::new(&MachineConfig::with_procs(2).unwrap());
         ms.access(0, 99);
         assert_eq!(ms.access(1, 99), AccessClass::L2);
     }

@@ -17,7 +17,7 @@ use delorean_sim::{AccessRecord, AccessSink, RunSpec};
 const APP_SEED: u64 = 7;
 
 fn spec(app: &str, procs: u32, budget: u64) -> RunSpec {
-    RunSpec::new(*workload::by_name(app).unwrap(), procs, APP_SEED, budget)
+    RunSpec::new(*workload::by_name(app).unwrap(), procs, APP_SEED, budget).unwrap()
 }
 
 /// Collects both the full dependence set and all three baseline logs in

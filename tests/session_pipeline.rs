@@ -181,6 +181,30 @@ fn line_with_stages(workload: &str, mode: Mode, stack: &[u8]) -> String {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
 
+    /// Satellite: the component scheduler behind the engine produces
+    /// byte-identical digests and `.dlrn` bytes to the pre-refactor
+    /// golden baseline, and its heap tie-breaks are stable across
+    /// runs — two recordings of the same point must fingerprint
+    /// identically.
+    #[test]
+    fn component_scheduler_matches_golden_baseline(
+        widx in 0usize..13,
+        mode_sel in 0usize..3,
+    ) {
+        let w = workload::catalog()[widx];
+        let mode = MODES[mode_sel];
+        let once = current_line(w.name, mode);
+        let again = current_line(w.name, mode);
+        prop_assert_eq!(
+            &once, &again,
+            "scheduler tie-breaks drifted between two identical runs"
+        );
+        prop_assert_eq!(
+            once.as_str(), golden_line(w.name, mode),
+            "the component scheduler perturbed the recording"
+        );
+    }
+
     /// Satellite: any permutation and stacking of observation-only
     /// `HookStage`s leaves the recording digest and the `.dlrn` byte
     /// stream identical to the pre-refactor golden baseline.
