@@ -1,6 +1,6 @@
 //! Race detection and log-invariant analysis for DeLorean recordings.
 //!
-//! Three passes, each usable on its own and aggregated by the
+//! Four passes, each usable on its own and aggregated by the
 //! `delorean analyze` CLI subcommand into one [`AnalysisReport`]:
 //!
 //! 1. **Static footprint analysis** ([`footprint`]) — abstract
@@ -18,6 +18,14 @@
 //!    `.dlrn` streams (framing, checksums, CS-size sanity, footprint
 //!    shape, DMA payload ranges, watermark and trailer consistency)
 //!    as typed [`Diagnostic`]s with severities, never panics.
+//! 4. **Dependence analysis** ([`deps`]) — the full chunk dependence
+//!    DAG over a recording, built twice (exact line-granular
+//!    footprints vs. the hardware's aliasing-prone 2-Kbit signatures),
+//!    with transitive reduction, critical path, an
+//!    available-parallelism profile, a hard check that the recorded
+//!    commit order is a linear extension of the exact DAG, and a
+//!    versioned, checksummed replay-parallelism certificate bound to
+//!    the source stream by fingerprint.
 //!
 //! Only [`Severity::Error`] findings indicate a broken artifact (and
 //! drive the CLI's exit code); races are reported as warnings because
@@ -25,13 +33,18 @@
 //! point of deterministic replay is to capture exactly such runs.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod deps;
 pub mod footprint;
 pub mod lint;
 pub mod races;
 pub mod report;
 
+pub use deps::{
+    analyze_deps, deps_from_bytes, fingerprint, validate_certificate, CertSummary, DepNode,
+    DepsOptions, DepsReport, CERT_SCHEMA_VERSION, PROFILE_CORES,
+};
 pub use footprint::{
     analyze_workload, find_static_races, AbsVal, AccessSite, FootprintReport, StaticOptions,
 };

@@ -411,6 +411,7 @@ pub fn lint_stream<R: Read>(reader: R) -> LintReport {
             }
         }
     }
+    crate::report::sort_diagnostics(&mut state.diagnostics);
     LintReport {
         segments,
         events: state.events,
@@ -464,6 +465,7 @@ pub fn lint_bytes(bytes: &[u8]) -> LintReport {
             ));
         }
         report.salvage = Some(s.report);
+        crate::report::sort_diagnostics(&mut report.diagnostics);
     }
     report
 }

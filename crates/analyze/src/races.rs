@@ -387,7 +387,24 @@ impl Detector {
     }
 
     /// Finalizes the pass into a [`RaceReport`].
-    pub fn finish(self) -> RaceReport {
+    ///
+    /// Example races (and the warnings derived from them) are sorted by
+    /// (later commit slot, earlier commit slot, line, kind) so the
+    /// report — and the CLI's `--json` rendering of it — is
+    /// byte-stable regardless of per-line discovery order.
+    pub fn finish(mut self) -> RaceReport {
+        self.examples.sort_by_key(|r| {
+            (
+                r.later.gcc,
+                r.earlier.gcc,
+                r.line,
+                match r.kind {
+                    ConflictKind::WriteWrite => 0u8,
+                    ConflictKind::WriteRead => 1,
+                    ConflictKind::ReadWrite => 2,
+                },
+            )
+        });
         let mut diagnostics = Vec::new();
         for r in &self.examples {
             diagnostics.push(Diagnostic::warning(
@@ -552,6 +569,34 @@ mod tests {
         let r = d.finish();
         assert_eq!(r.races_total, 1);
         assert_eq!(r.examples[0].earlier.who, "DMA");
+    }
+
+    #[test]
+    fn examples_are_sorted_deterministically() {
+        // P2's chunk races with both earlier writers. The detector
+        // discovers the edges newest-predecessor-first, so without the
+        // finish-time sort the examples would come out in descending
+        // earlier-slot order.
+        let mut d = Detector::new(Mode::OrderOnly, 3, &RaceOptions::default());
+        d.observe(&ev(1, Committer::Proc(0), 0, vec![], vec![7]));
+        d.observe(&ev(2, Committer::Proc(1), 0, vec![], vec![8]));
+        d.observe(&ev(3, Committer::Proc(2), 0, vec![7, 8], vec![]));
+        let r = d.finish();
+        assert_eq!(r.races_total, 2);
+        let keys: Vec<_> = r
+            .examples
+            .iter()
+            .map(|e| (e.later.gcc, e.earlier.gcc, e.line))
+            .collect();
+        assert_eq!(keys, vec![(3, 1, 7), (3, 2, 8)]);
+        // The derived warnings follow the same order.
+        let warnings: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "chunk-race")
+            .collect();
+        assert!(warnings[0].message.contains("commit 1"), "{warnings:?}");
+        assert!(warnings[1].message.contains("commit 2"), "{warnings:?}");
     }
 
     #[test]

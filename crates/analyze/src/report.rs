@@ -125,6 +125,18 @@ pub(crate) fn diagnostic_json(d: &Diagnostic, out: &mut String) {
     out.push('}');
 }
 
+/// Stable deterministic ordering for a diagnostic list: positioned
+/// findings first in (segment, commit, byte offset) order, then by
+/// code; positionless findings keep their relative emission order at
+/// the end. Makes `analyze --json` byte-stable regardless of the order
+/// checks happened to fire in.
+pub(crate) fn sort_diagnostics(ds: &mut [Diagnostic]) {
+    ds.sort_by_key(|d| match &d.position {
+        Some(p) => (0u8, p.segment, p.commit, p.byte_offset, d.code),
+        None => (1, 0, 0, 0, ""),
+    });
+}
+
 pub(crate) fn diagnostics_json(ds: &[Diagnostic], out: &mut String) {
     out.push('[');
     for (i, d) in ds.iter().enumerate() {
@@ -151,6 +163,8 @@ pub struct AnalysisReport {
     pub races: Option<crate::races::RaceReport>,
     /// Log lint output, when run.
     pub lint: Option<crate::lint::LintReport>,
+    /// Chunk dependence-graph pass output, when run.
+    pub deps: Option<crate::deps::DepsReport>,
 }
 
 impl AnalysisReport {
@@ -159,7 +173,8 @@ impl AnalysisReport {
         let s = self.static_pass.iter().flat_map(|p| p.diagnostics.iter());
         let r = self.races.iter().flat_map(|p| p.diagnostics.iter());
         let l = self.lint.iter().flat_map(|p| p.diagnostics.iter());
-        s.chain(r).chain(l)
+        let d = self.deps.iter().flat_map(|p| p.diagnostics.iter());
+        s.chain(r).chain(l).chain(d)
     }
 
     /// Number of [`Severity::Error`] diagnostics (drives the exit code).
@@ -197,6 +212,10 @@ impl AnalysisReport {
             out.push_str(",\"lint\":");
             p.write_json(&mut out);
         }
+        if let Some(p) = &self.deps {
+            out.push_str(",\"deps\":");
+            p.write_json(&mut out);
+        }
         out.push_str(&format!(
             ",\"errors\":{},\"warnings\":{}}}",
             self.error_count(),
@@ -220,6 +239,9 @@ impl core::fmt::Display for AnalysisReport {
             write!(f, "{p}")?;
         }
         if let Some(p) = &self.lint {
+            write!(f, "{p}")?;
+        }
+        if let Some(p) = &self.deps {
             write!(f, "{p}")?;
         }
         writeln!(
@@ -248,6 +270,26 @@ mod tests {
     fn json_escaping_covers_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn diagnostics_sort_positioned_first_then_stable() {
+        let pos = |seg, commit, byte| StreamPosition {
+            byte_offset: byte,
+            segment: seg,
+            commit,
+        };
+        let mut ds = vec![
+            Diagnostic::warning("later", "x").at(pos(2, 5, 9)),
+            Diagnostic::info("free-first", "x"),
+            Diagnostic::error("early", "x").at(pos(1, 2, 1)),
+            Diagnostic::info("free-second", "x"),
+        ];
+        sort_diagnostics(&mut ds);
+        let codes: Vec<_> = ds.iter().map(|d| d.code).collect();
+        // Positioned findings in stream order; positionless keep their
+        // emission order at the end (stable sort).
+        assert_eq!(codes, vec!["early", "later", "free-first", "free-second"]);
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //!   one figure and diff it against a full-sweep baseline.
 
 use crate::record::{peak_rss_kb, BenchRecord, StageTimings};
-use delorean::{Machine, Mode, Recording};
+use delorean::{serialize, Machine, Mode, Recording};
+use delorean_analyze::{deps_from_bytes, DepsOptions};
 use delorean_baselines::{run_baseline, FdrRecorder, RtrRecorder, StrataRecorder};
 use delorean_chunk::{run as chunk_run, ArbiterConfig, BulkScHooks, EngineConfig, RunStats};
 use delorean_isa::workload;
@@ -43,11 +44,14 @@ pub enum Figure {
     /// Core-count scaling study: log size and squash rate vs
     /// {8..256} processors, global vs sharded arbiter.
     Scale,
+    /// Replay-parallelism characterization: available speedup and
+    /// signature-aliasing noise from the chunk dependence DAG.
+    Deps,
 }
 
 impl Figure {
     /// All figures, in sweep order.
-    pub const ALL: [Figure; 10] = [
+    pub const ALL: [Figure; 11] = [
         Figure::Fig06,
         Figure::Fig07,
         Figure::Fig08,
@@ -58,6 +62,7 @@ impl Figure {
         Figure::Tab01,
         Figure::Tab06,
         Figure::Scale,
+        Figure::Deps,
     ];
 
     /// The id used in job identities, JSON and `--figure` arguments.
@@ -73,6 +78,7 @@ impl Figure {
             Figure::Tab01 => "tab01",
             Figure::Tab06 => "tab06",
             Figure::Scale => "scale",
+            Figure::Deps => "deps",
         }
     }
 
@@ -253,6 +259,9 @@ fn figure_budget(figure: Figure, full: bool, budget_div: u64) -> u64 {
         // 256-proc points make this figure machine-wide heavy even at a
         // small per-proc budget.
         Figure::Scale => 2_000,
+        // The dependence pass replays every recording it makes, so the
+        // budget is kept small to bound the sweep's wall time.
+        Figure::Deps => 4_000,
     };
     let scaled = if full { base * 5 } else { base };
     // Deliberately no clamp: an over-aggressive divisor yields a zero
@@ -400,6 +409,16 @@ pub fn enumerate_jobs(
                     }
                 }
             }
+            Figure::Deps => {
+                // Small chunks give the dependence DAG enough nodes per
+                // processor for the parallelism profile to be meaningful
+                // at the reduced budget.
+                for w in &catalog {
+                    for procs in [4, 8, 16] {
+                        jobs.push(job(w, JobKind::Record(Mode::OrderOnly), procs, 500, 0));
+                    }
+                }
+            }
         }
     }
     jobs
@@ -514,6 +533,41 @@ pub fn run_job(spec: &JobSpec) -> BenchRecord {
                 record
                     .extra
                     .push(("squash_rate".into(), rec.stats.squashes as f64 / kilo_insts));
+            }
+            if spec.figure == Figure::Deps {
+                // Characterize the recording just made: serialize it and
+                // run the dependence-graph pass, which replays the
+                // stream and rebuilds the chunk DAG in both the exact
+                // and the signature domain.
+                let t = Instant::now();
+                let bytes = serialize::to_bytes(&rec);
+                let deps = deps_from_bytes(&bytes, &DepsOptions::default());
+                record.timings.replay_ms = ms(t);
+                record.replay_deterministic = deps.replay_complete;
+                record
+                    .extra
+                    .push(("dep_nodes".into(), deps.nodes.len() as f64));
+                record
+                    .extra
+                    .push(("exact_edges".into(), deps.exact_edges as f64));
+                record
+                    .extra
+                    .push(("aliased_edges".into(), deps.aliased_edges as f64));
+                record
+                    .extra
+                    .push(("aliasing_rate".into(), deps.aliasing_rate));
+                record.extra.push((
+                    "critical_path_ratio".into(),
+                    deps.critical_path as f64 / deps.total_work.max(1) as f64,
+                ));
+                for &(k, s) in &deps.parallelism {
+                    if matches!(k, 8 | 64 | 256) {
+                        record.extra.push((format!("speedup_at_{k}"), s));
+                    }
+                }
+                record
+                    .extra
+                    .push(("max_speedup".into(), deps.max_speedup()));
             }
         }
         JobKind::RecordReplay {

@@ -629,6 +629,43 @@ fn summarize(figures: &[Figure], records: &[BenchRecord]) -> Vec<FigureSummary> 
                     }
                 }
             }
+            Figure::Deps => {
+                // Available replay parallelism and signature-aliasing
+                // noise by recorded core count, over the SPLASH-2 set.
+                let at = |procs: u32| -> Vec<&BenchRecord> {
+                    recs.iter()
+                        .filter(|r| r.procs == procs && sp2.contains(&r.workload.as_str()))
+                        .copied()
+                        .collect()
+                };
+                for procs in [4u32, 8, 16] {
+                    let rs = at(procs);
+                    push(
+                        &format!("max_speedup_p{procs}_gm"),
+                        gm(&rs
+                            .iter()
+                            .filter_map(|r| extra(r, "max_speedup"))
+                            .collect::<Vec<_>>()),
+                    );
+                    push(
+                        &format!("aliasing_rate_p{procs}"),
+                        mean(
+                            &rs.iter()
+                                .filter_map(|r| extra(r, "aliasing_rate"))
+                                .collect::<Vec<_>>(),
+                        ),
+                    );
+                }
+                push(
+                    "critical_path_ratio_p8",
+                    mean(
+                        &at(8)
+                            .iter()
+                            .filter_map(|r| extra(r, "critical_path_ratio"))
+                            .collect::<Vec<_>>(),
+                    ),
+                );
+            }
             Figure::Tab06 => {
                 let pl = sp2_recs("picolog", 1_000);
                 for (key, name) in [

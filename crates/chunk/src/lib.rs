@@ -49,6 +49,7 @@ mod components;
 pub mod config;
 pub mod devices;
 mod engine;
+pub mod footprint;
 pub mod hooks;
 pub mod policy;
 mod spec;
@@ -57,6 +58,7 @@ pub mod stats;
 pub use arbiter::{ArbiterBackend, GlobalArbiter, Grant, ShardedArbiter};
 pub use config::{ArbiterConfig, DeviceConfig, EngineConfig, PerturbConfig, SubstrateFaultConfig};
 pub use engine::{run, run_from, StartState};
+pub use footprint::ChunkFootprint;
 pub use hooks::{
     ArbiterContext, BulkScHooks, CommitRecord, Committer, EventObserver, ExecutionHooks,
     GrantPolicy, HookStack, ModeDriver, PendingView, ReplayFeed, SubstrateEvent, TruncationReason,

@@ -47,6 +47,8 @@ usage:
   delorean replay <file> [--seed N] [--stratified MAX]
   delorean inspect <file> [--watch ADDR]... [--limit N] [--json]
   delorean analyze <file> [--json] [--skip static|races|lint]... [--max-examples N]
+                  [--deps] [--cert PATH]
+  delorean analyze <file> --check-cert PATH
   delorean analyze --trace PATH [--json]
   delorean bench [--figure figNN]... [--json PATH] [--jobs N] [--full]
                  [--baseline PATH] [--tolerance PCT] [--seed N]
@@ -62,6 +64,7 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
     // `bench --json PATH` takes the output path as a value.
     let switches: &[&str] = match cmd.as_str() {
         "bench" => &["--full", "--verbose"],
+        "analyze" => &["--json", "--deps"],
         _ => &["--json"],
     };
     let args = Args::parse_with_switches(&argv[1..], switches)?;
@@ -430,16 +433,58 @@ fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
     let skip = args.get_all("--skip");
     let skip = |pass: &str| skip.iter().any(|s| s == pass);
     let max_examples = args.num("--max-examples")?.map(|n| n as usize);
+    let deps_requested = args.has("--deps") || args.get("--cert").is_some();
+
+    // `--check-cert` is a standalone verb: validate an existing
+    // certificate against this stream and exit.
+    if let Some(cert_path) = args.get("--check-cert") {
+        let text =
+            std::fs::read_to_string(&cert_path).map_err(|e| format!("reading {cert_path}: {e}"))?;
+        let bytes = std::fs::read(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        return match delorean_analyze::validate_certificate(&text, Some(&bytes)) {
+            Ok(s) => {
+                println!(
+                    "certificate OK: schema v{}, {} node(s), {} edge(s), bound to {} ({} bytes, fingerprint {:#018x}){}",
+                    s.schema_version,
+                    s.node_count,
+                    s.edge_count,
+                    path,
+                    s.source_bytes,
+                    s.fingerprint,
+                    if s.partial { ", PARTIAL" } else { "" }
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(e) => {
+                println!("certificate INVALID: {e}");
+                Ok(ExitCode::FAILURE)
+            }
+        };
+    }
 
     // Pass 3 first: the lint works on the raw byte stream and cannot
     // itself fail, so a corrupt file still yields a report. Linting
     // the full byte image lets a damaged stream also carry the salvage
-    // account of what a recovery would preserve.
-    let lint = if skip("lint") {
-        None
+    // account of what a recovery would preserve. The deps pass shares
+    // the byte image (it fingerprints the certificate against it).
+    let bytes = if !skip("lint") || deps_requested {
+        Some(std::fs::read(&path).map_err(|e| format!("reading {path}: {e}"))?)
     } else {
-        let bytes = std::fs::read(&path).map_err(|e| format!("reading {path}: {e}"))?;
-        Some(delorean_analyze::lint_bytes(&bytes))
+        None
+    };
+    let lint = match &bytes {
+        Some(b) if !skip("lint") => Some(delorean_analyze::lint_bytes(b)),
+        _ => None,
+    };
+    // Pass 4: the dependence DAG / parallelism certificate. Works from
+    // the byte image so damaged streams degrade to a partial
+    // certificate over the salvaged prefix instead of erroring.
+    let deps = match &bytes {
+        Some(b) if deps_requested => Some(delorean_analyze::deps_from_bytes(
+            b,
+            &delorean_analyze::DepsOptions::default(),
+        )),
+        _ => None,
     };
 
     // The replay-based passes need decodable metadata; without it they
@@ -452,6 +497,7 @@ fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
             static_pass: None,
             races: None,
             lint,
+            deps,
         },
         Ok(source) => {
             let meta = source
@@ -491,9 +537,30 @@ fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
                 static_pass,
                 races,
                 lint,
+                deps,
             }
         }
     };
+    if let Some(cert_path) = args.get("--cert") {
+        let Some(d) = &report.deps else {
+            return Err("--cert requires the dependence pass (pass --deps)".to_string());
+        };
+        match d.certificate() {
+            Some(text) => {
+                std::fs::write(&cert_path, text)
+                    .map_err(|e| format!("writing {cert_path}: {e}"))?;
+                if !args.has("--json") {
+                    println!("wrote replay-parallelism certificate -> {cert_path}");
+                }
+            }
+            None => {
+                return Err(
+                    "no certificate: the dependence replay did not complete (see diagnostics)"
+                        .to_string(),
+                )
+            }
+        }
+    }
     if args.has("--json") {
         println!("{}", report.to_json());
     } else {

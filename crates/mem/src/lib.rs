@@ -34,7 +34,7 @@ mod signature;
 
 pub use cache::{Cache, CacheConfig};
 pub use memory::Memory;
-pub use signature::Signature;
+pub use signature::{bit_indices, Signature, SIG_BITS};
 
 /// Words per cache line (32-byte lines, 8-byte words).
 pub const LINE_WORDS: u64 = 4;

@@ -49,10 +49,29 @@ fn hash2(line: u64) -> usize {
     (line.wrapping_mul(0xc2b2_ae3d_27d4_eb4f).rotate_left(31) >> 52) as usize & (SIG_BITS - 1)
 }
 
+/// The two signature bit positions a cache-line index hash-encodes to.
+///
+/// Exposed so analyses can reason in the *signature domain*: two lines
+/// alias exactly when their bit pairs overlap, which is what turns a
+/// hardware signature intersection into a false-positive conflict.
+pub fn bit_indices(line: u64) -> [usize; 2] {
+    [hash1(line), hash2(line)]
+}
+
 impl Signature {
     /// Creates an empty signature.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Builds the signature a chunk with exactly these line accesses
+    /// would carry in hardware.
+    pub fn from_lines(lines: impl IntoIterator<Item = u64>) -> Self {
+        let mut s = Self::new();
+        for l in lines {
+            s.insert(l);
+        }
+        s
     }
 
     /// Inserts a cache-line index.
@@ -60,6 +79,35 @@ impl Signature {
         for h in [hash1(line), hash2(line)] {
             self.bits[h / 64] |= 1u64 << (h % 64);
         }
+    }
+
+    /// Whether signature bit `bit` is set. Bits outside
+    /// [`SIG_BITS`] are never set.
+    pub fn bit(&self, bit: usize) -> bool {
+        bit < SIG_BITS && self.bits[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// The set bit positions, ascending — the signature's exact
+    /// contents, for introspection and aliasing analysis.
+    pub fn set_bits(&self) -> Vec<u16> {
+        let mut out = Vec::with_capacity(self.popcount() as usize);
+        for (w, &word) in self.bits.iter().enumerate() {
+            let mut rest = word;
+            while rest != 0 {
+                let b = rest.trailing_zeros() as usize;
+                out.push((w * 64 + b) as u16);
+                rest &= rest - 1;
+            }
+        }
+        out
+    }
+
+    /// Whether a positive [`Signature::may_contain`] answer for `line`
+    /// is a *false positive* given the exact (sorted) line set the
+    /// signature was built from: the signature says yes but no inserted
+    /// line is `line` itself.
+    pub fn is_aliased_hit(&self, line: u64, exact_lines_sorted: &[u64]) -> bool {
+        self.may_contain(line) && exact_lines_sorted.binary_search(&line).is_err()
     }
 
     /// Membership test. May return `true` for lines never inserted
@@ -169,5 +217,54 @@ mod tests {
     fn debug_is_nonempty() {
         let s = Signature::new();
         assert!(!format!("{s:?}").is_empty());
+    }
+
+    #[test]
+    fn set_bits_enumerates_exactly_the_hashed_positions() {
+        let lines = [3u64, 977, 40_000];
+        let sig = Signature::from_lines(lines);
+        let bits = sig.set_bits();
+        assert!(bits.windows(2).all(|w| w[0] < w[1]), "ascending: {bits:?}");
+        let mut expected: Vec<u16> = lines
+            .iter()
+            .flat_map(|&l| bit_indices(l))
+            .map(|b| b as u16)
+            .collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(bits, expected);
+        for &b in &bits {
+            assert!(sig.bit(b as usize));
+        }
+        assert!(!sig.bit(SIG_BITS), "out-of-range bits are never set");
+        assert_eq!(bits.len() as u32, sig.popcount());
+    }
+
+    #[test]
+    fn from_lines_equals_insert_loop() {
+        let mut manual = Signature::new();
+        for l in [5u64, 9, 5] {
+            manual.insert(l);
+        }
+        assert_eq!(Signature::from_lines([5u64, 9, 5]), manual);
+    }
+
+    #[test]
+    fn aliased_hits_are_distinguished_from_exact_members() {
+        let lines: Vec<u64> = (0..64).map(|l| l * 977).collect();
+        let sig = Signature::from_lines(lines.iter().copied());
+        // A genuine member is a hit but never an aliased one.
+        assert!(!sig.is_aliased_hit(977, &lines));
+        // Scan for a false positive; with 128/2048 bits set one exists
+        // in a modest range.
+        let alias = (100_000..200_000u64)
+            .find(|&l| sig.may_contain(l))
+            .expect("a false positive exists");
+        assert!(sig.is_aliased_hit(alias, &lines));
+        // A clean miss is neither.
+        let miss = (100_000..200_000u64)
+            .find(|&l| !sig.may_contain(l))
+            .expect("a miss exists");
+        assert!(!sig.is_aliased_hit(miss, &lines));
     }
 }
