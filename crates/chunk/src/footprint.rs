@@ -19,6 +19,15 @@ use delorean_mem::Signature;
 /// `write_lines` is a subset of the chunk's accesses; `read_lines`
 /// holds the lines the chunk read (a line both read and written
 /// appears in both sets, matching the engine's `access`/`write` split).
+///
+/// Footprints are the currency of every conflict argument in this
+/// workspace: two chunks may execute (or replay) in either relative
+/// order iff their footprints do not conflict under
+/// [`ChunkFootprint::conflicts_exact`]. The `deps` analysis pass builds
+/// its dependence DAG from them, and the chunk-parallel replay executor
+/// accepts a speculative result only when the chunk's read lines avoid
+/// every line written by *other* committers since the chunk ran —
+/// the executor-side restatement of the same test.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChunkFootprint {
     /// Cache lines read, ascending.

@@ -99,6 +99,34 @@ pub struct StateDigest {
     pub committed_chunks: Vec<u64>,
 }
 
+impl StateDigest {
+    /// One stable 64-bit fingerprint of the whole digest: FNV-1a over
+    /// every field, with each vector prefixed by its length so distinct
+    /// shapes can never collide by concatenation. Two digests are equal
+    /// iff their fingerprints are (modulo hash collisions), which makes
+    /// this the one-line value CI jobs and scripts compare across
+    /// replays — e.g. `delorean-rr replay --jobs N` prints it for the
+    /// parallel-replay smoke test's digest comparison.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |x: u64| {
+            for b in x.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        fold(self.mem_hash);
+        for part in [&self.stream_hashes, &self.retired, &self.committed_chunks] {
+            fold(part.len() as u64);
+            for &v in part.iter() {
+                fold(v);
+            }
+        }
+        h
+    }
+}
+
 /// Everything measured during one engine run.
 #[derive(Debug, Clone)]
 pub struct RunStats {

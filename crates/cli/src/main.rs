@@ -7,6 +7,7 @@
 //! delorean info run.dlrn
 //! delorean replay run.dlrn --seed 99
 //! delorean replay run.dlrn --stratified 1
+//! delorean replay run.dlrn --jobs 8 --cert run.cert
 //! delorean inspect run.dlrn --watch 0x30001 --limit 40
 //! ```
 
@@ -45,6 +46,7 @@ usage:
                   [--arbiter global|sharded:K] [--trace PATH]
   delorean info <file>
   delorean replay <file> [--seed N] [--stratified MAX]
+  delorean replay <file> --jobs N [--cert PATH]
   delorean inspect <file> [--watch ADDR]... [--limit N] [--json]
   delorean analyze <file> [--json] [--skip static|races|lint]... [--max-examples N]
                   [--deps] [--cert PATH]
@@ -268,6 +270,9 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_replay(args: &Args) -> Result<(), String> {
+    if let Some(jobs) = args.num("--jobs")? {
+        return cmd_replay_parallel(args, jobs as u32);
+    }
     let seed = args.num("--seed")?.unwrap_or(0x5a5a);
     let report = if let Some(max) = args.num("--stratified")? {
         // Stratification needs the chunk footprints resident, so this
@@ -293,6 +298,69 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     println!(
         "replayed {} commits in {} cycles",
         report.stats.total_commits, report.stats.cycles
+    );
+    if report.deterministic {
+        println!("deterministic: yes — execution reproduced bit-exactly");
+        Ok(())
+    } else {
+        Err(format!(
+            "replay diverged: {}",
+            report.divergence.unwrap_or_default()
+        ))
+    }
+}
+
+/// `replay --jobs N [--cert PATH]`: the chunk-parallel executor.
+/// Retirement stays in recorded slot order, so the digest fingerprint
+/// printed here is byte-identical at every job count — CI smoke tests
+/// compare that line across `--jobs` values.
+fn cmd_replay_parallel(args: &Args, jobs: u32) -> Result<(), String> {
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".to_string());
+    }
+    if args.num("--stratified")?.is_some() {
+        return Err("--stratified and --jobs are mutually exclusive".to_string());
+    }
+    let path = recording_path(args)?;
+    let mut opts = delorean::ParallelReplayOptions::with_jobs(jobs);
+    if let Some(cpath) = args.get("--cert") {
+        let cert = std::fs::read_to_string(&cpath).map_err(|e| format!("reading {cpath}: {e}"))?;
+        // Bind the certificate to this stream: a cert generated from a
+        // different recording fails the fingerprint check here rather
+        // than silently mis-hinting the executor.
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let hints = delorean_analyze::certificate_hints(&cert, Some(&bytes))
+            .map_err(|e| format!("certificate {cpath}: {e}"))?;
+        println!(
+            "certificate {cpath}: dependence hints for {} slots",
+            hints.len()
+        );
+        opts.hints = Some(hints);
+    }
+    let source = open_source(path)?;
+    let meta = source
+        .meta()
+        .ok_or("stream carries no recording metadata")?;
+    let machine = machine_from_meta(meta);
+    let (report, spec) = machine
+        .replay_parallel_with(source, &opts)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "replayed {} commits in {} cycles ({jobs} jobs)",
+        report.stats.total_commits, report.stats.cycles
+    );
+    println!(
+        "speculation: {} rounds, {} chunks speculated, {} retired speculatively, {} in order, {} conflicts, {} hint skips",
+        spec.rounds,
+        spec.speculated_chunks,
+        spec.speculative_retires,
+        spec.serial_retires,
+        spec.conflicts,
+        spec.hint_skips
+    );
+    println!(
+        "digest fingerprint {:#018x}",
+        report.stats.digest.fingerprint()
     );
     if report.deterministic {
         println!("deterministic: yes — execution reproduced bit-exactly");

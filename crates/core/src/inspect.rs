@@ -43,7 +43,7 @@ use crate::mode::Mode;
 use crate::stream::{LogSource, MemorySource};
 use delorean_chunk::{Committer, SubstrateEvent, TruncationReason};
 use delorean_isa::layout::AddressMap;
-use delorean_isa::{Addr, DataMemory, IoBus, Program, StepKind, Vm, Word};
+use delorean_isa::{Addr, DataMemory, IoBus, Program, Vm, Word};
 use delorean_mem::Memory;
 use std::collections::HashSet;
 
@@ -518,38 +518,16 @@ impl<S: LogSource> ReplayInspector<S> {
             hits: Vec::new(),
             footprints: footprints.as_mut(),
         };
-        let mut size = 0u32;
-        // A chunk cut short of the standard size by its (logged) target
-        // was non-deterministically truncated when recorded; uncached
-        // stops re-derive themselves below before the target is hit.
-        let mut truncation = if target < self.chunk_size {
-            TruncationReason::Overflow
-        } else {
-            TruncationReason::StandardSize
-        };
-        loop {
-            if size >= target {
-                break;
-            }
-            if vm.retired() >= budget || vm.halted() {
-                truncation = TruncationReason::BudgetEnd;
-                break;
-            }
-            let Some(&inst) = vm.peek(program) else {
-                truncation = TruncationReason::BudgetEnd;
-                break;
-            };
-            if inst.is_uncached() && size > 0 {
-                truncation = TruncationReason::Uncached;
-                break;
-            }
-            let info = vm.step(program, &mut mem, &mut io);
-            size += 1;
-            if info.kind == StepKind::Uncached {
-                truncation = TruncationReason::Uncached;
-                break; // solo uncached chunk
-            }
-        }
+        let run = crate::chunkrun::run_chunk(
+            vm,
+            program,
+            &mut mem,
+            &mut io,
+            target,
+            self.chunk_size,
+            budget,
+        );
+        let (size, truncation) = (run.size, run.truncation);
         let io_loads = io.seq;
         if io.missing {
             return Err(InspectError::at(

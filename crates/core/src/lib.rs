@@ -44,14 +44,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod checkpoint;
+mod chunkrun;
 mod error;
 pub mod inspect;
 pub mod log;
 mod machine;
 mod mode;
+pub mod parallel;
 mod recorder;
 pub mod recover;
 mod replayer;
@@ -64,6 +66,7 @@ mod wire;
 pub use error::ReplayError;
 pub use machine::{Machine, MachineBuilder, Recording, ReplayReport};
 pub use mode::Mode;
+pub use parallel::{DependenceHints, ParallelReplayOptions, SpeculationStats};
 pub use recorder::{LogSet, Recorder};
 pub use recover::{RecoveringSource, Salvage, SalvageReport};
 pub use replayer::Replayer;

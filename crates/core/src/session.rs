@@ -360,6 +360,54 @@ impl<'m, 's> Session<'m, 's> {
         Ok(verified_report(&trailer.stats.digest, stats, divergence))
     }
 
+    /// Replays from a log source with the chunk-parallel executor —
+    /// see [`Machine::replay_parallel`] for the contract. The stacked
+    /// stages observe one [`SubstrateEvent::Commit`] per retired commit
+    /// in recorded slot order (with the slot number standing in for the
+    /// cycle timestamp, since this executor replays values, not
+    /// timing), regardless of how many worker threads re-executed the
+    /// chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError`] when the source carries no metadata, the
+    /// machine shape or mode does not match, or the stream turns out to
+    /// be corrupt or truncated mid-replay — byte-identical to what the
+    /// in-order path (`opts.jobs == 1`) returns for the same stream.
+    pub fn replay_parallel<S: LogSource>(
+        mut self,
+        source: S,
+        opts: &crate::parallel::ParallelReplayOptions,
+    ) -> Result<(ReplayReport, crate::parallel::SpeculationStats), ReplayError> {
+        let m = self.machine;
+        let Some(meta) = source.meta().cloned() else {
+            return Err(ReplayError::Source {
+                detail: "log source carries no recording metadata".to_string(),
+            });
+        };
+        if meta.n_procs != m.procs() {
+            return Err(ReplayError::MachineMismatch {
+                recorded: meta.n_procs,
+                replaying: m.procs(),
+            });
+        }
+        if meta.mode != m.mode() {
+            return Err(ReplayError::ModeMismatch {
+                recorded: meta.mode,
+                replaying: m.mode(),
+            });
+        }
+        for stage in &mut self.stages {
+            stage.on_begin(&meta);
+        }
+        let executor = crate::parallel::Executor::new(&meta, source, opts);
+        let (reference, stats, divergence, spec) = executor.run(&mut self.stages)?;
+        for stage in &mut self.stages {
+            stage.on_end(&stats);
+        }
+        Ok((verified_report(&reference, stats, divergence), spec))
+    }
+
     /// Replays `recording` driven by a *stratified* PI log — see
     /// [`Machine::replay_stratified`] for the contract.
     ///

@@ -8,7 +8,8 @@
 //! software inspector, stepped exactly as many commits as were
 //! recovered — to the bit-identical architectural state the pristine
 //! execution reaches at the same commit index, and every unrecovered
-//! commit must be named in the [`SalvageReport`]. A scenario that
+//! commit must be named in the [`SalvageReport`](delorean::SalvageReport).
+//! A scenario that
 //! panics, diverges silently, or loses commits without reporting them
 //! fails the matrix.
 

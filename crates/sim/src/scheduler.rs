@@ -1,4 +1,5 @@
-//! Deterministic min-heap event scheduler for [`Component`]s.
+//! Deterministic min-heap event scheduler for
+//! [`Component`](crate::Component)s.
 //!
 //! Entries are ordered by `(tick, seq, id)`: earliest simulated cycle
 //! first, then **post order** (`seq` is a global monotone stamp assigned
