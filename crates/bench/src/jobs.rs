@@ -12,7 +12,10 @@
 //!   one figure and diff it against a full-sweep baseline.
 
 use crate::record::{peak_rss_kb, BenchRecord, StageTimings};
-use delorean::{serialize, FileSource, Machine, Mode, ParallelReplayOptions, Recording};
+use delorean::{
+    index_stream, serialize, FileSource, Machine, Mode, ParallelReplayOptions, Recording,
+    ReplayCursor,
+};
 use delorean_analyze::{deps_from_bytes, DepsOptions};
 use delorean_baselines::{run_baseline, FdrRecorder, RtrRecorder, StrataRecorder};
 use delorean_chunk::{run as chunk_run, ArbiterConfig, BulkScHooks, EngineConfig, RunStats};
@@ -52,11 +55,18 @@ pub enum Figure {
     /// (`--jobs` 1..16). Wall-clock metrics are host-dependent; the
     /// speculation counters and digests are deterministic.
     Rscale,
+    /// Checkpoint-seek characterization: wall-clock latency to reach
+    /// an interior commit, cold (slot-0 roll-forward, the only option
+    /// without a `.dlrnx` sidecar) vs warm (seek to the nearest
+    /// checkpoint and roll forward). Latencies are host-dependent; the
+    /// reached checkpoint ids are deterministic and cross-checked
+    /// against a slot-0 ground-truth replay.
+    Seek,
 }
 
 impl Figure {
     /// All figures, in sweep order.
-    pub const ALL: [Figure; 12] = [
+    pub const ALL: [Figure; 13] = [
         Figure::Fig06,
         Figure::Fig07,
         Figure::Fig08,
@@ -69,6 +79,7 @@ impl Figure {
         Figure::Scale,
         Figure::Deps,
         Figure::Rscale,
+        Figure::Seek,
     ];
 
     /// The id used in job identities, JSON and `--figure` arguments.
@@ -86,6 +97,7 @@ impl Figure {
             Figure::Scale => "scale",
             Figure::Deps => "deps",
             Figure::Rscale => "rscale",
+            Figure::Seek => "seek",
         }
     }
 
@@ -141,6 +153,16 @@ pub enum JobKind {
         /// Worker threads for the parallel replay executor.
         jobs: u32,
     },
+    /// Record OrderOnly, build a `.dlrnx` checkpoint index, then time
+    /// `state_at` to the commit at `at_pct`% of the log. Cold points
+    /// degenerate the index to its slot-0 entry (a full roll-forward);
+    /// warm points seek through real interior checkpoints.
+    Seek {
+        /// Whether interior checkpoints are available for the seek.
+        warm: bool,
+        /// Seek target as a percentage of the recording's commits.
+        at_pct: u32,
+    },
 }
 
 impl JobKind {
@@ -166,6 +188,9 @@ impl JobKind {
             JobKind::Rtr => "rtr".into(),
             JobKind::Strata => "strata".into(),
             JobKind::ParallelReplay { jobs } => format!("preplay-j{jobs}"),
+            JobKind::Seek { warm, at_pct } => {
+                format!("seek-{}@{at_pct}", if warm { "warm" } else { "cold" })
+            }
         }
     }
 }
@@ -279,6 +304,9 @@ fn figure_budget(figure: Figure, full: bool, budget_div: u64) -> u64 {
         // Every point replays its recording once per worker count, so
         // the budget is bounded like the deps figure's.
         Figure::Rscale => 4_000,
+        // Every point indexes and partially replays its recording, so
+        // the budget stays at the deps/rscale scale.
+        Figure::Seek => 4_000,
     };
     let scaled = if full { base * 5 } else { base };
     // Deliberately no clamp: an over-aggressive divisor yields a zero
@@ -444,6 +472,19 @@ pub fn enumerate_jobs(
                 for w in FIG12_APPS {
                     for n in [1, 2, 4, 8, 16] {
                         jobs.push(job(w, JobKind::ParallelReplay { jobs: n }, 8, 2_000, 0));
+                    }
+                }
+            }
+            Figure::Seek => {
+                // Cold and warm share the spec-derived seed, so each
+                // pair seeks into the identical recording; small chunks
+                // give the interval index enough commits to matter at
+                // the reduced budget.
+                for w in ["fft", "lu"] {
+                    for at_pct in [25, 50, 90] {
+                        for warm in [false, true] {
+                            jobs.push(job(w, JobKind::Seek { warm, at_pct }, 8, 500, 0));
+                        }
                     }
                 }
             }
@@ -684,6 +725,60 @@ pub fn run_job(spec: &JobSpec) -> BenchRecord {
                 // A fresh recording that fails to replay is itself the
                 // regression: surface it through the gated
                 // `replay_deterministic` field.
+                Err(_) => record.replay_deterministic = false,
+            }
+        }
+        JobKind::Seek { warm, at_pct } => {
+            let machine = build_machine(spec, Mode::OrderOnly);
+            let t = Instant::now();
+            let rec = machine.record(w, seed);
+            record.timings.record_ms = ms(t);
+            absorb_stats(&mut record, &rec.stats);
+            measure_logs(&mut record, &rec);
+            let bytes = serialize::to_bytes(&rec);
+            let total = rec.stats.total_commits;
+            let target = (total * u64::from(at_pct) / 100).max(1);
+            // Cold points get an index whose only entry is slot 0 (the
+            // interval exceeds the log), so `state_at` degenerates to
+            // the full roll-forward a sidecar-less replay would do;
+            // warm points get interior checkpoints every eighth of the
+            // log. Index and cursor construction — including the
+            // fingerprint scan — sit outside the timed region: both
+            // variants pay them identically, so the latency isolates
+            // the roll-forward work the checkpoints save.
+            let interval = if warm { (total / 8).max(1) } else { total + 1 };
+            let seek = index_stream(&bytes, interval)
+                .map_err(|e| e.to_string())
+                .and_then(|index| {
+                    ReplayCursor::open(std::io::Cursor::new(&bytes[..]), index)
+                        .map_err(|e| e.to_string())
+                })
+                .and_then(|mut cursor| {
+                    let checkpoints = cursor.index().entries.len();
+                    let t = Instant::now();
+                    let ck = machine
+                        .state_at(&mut cursor, target)
+                        .map_err(|e| e.to_string())?;
+                    Ok((ms(t), checkpoints, ck))
+                });
+            record.replays = 1;
+            match seek {
+                Ok((latency, checkpoints, ck)) => {
+                    record.timings.replay_ms = latency;
+                    // The reached state must match a slot-0 ground-truth
+                    // replay; a divergence is a regression surfaced
+                    // through the gated `replay_deterministic` field.
+                    record.replay_deterministic = rec
+                        .checkpoint_at(target)
+                        .is_ok_and(|truth| truth.id() == ck.id());
+                    record.extra.push(("seek_gcc".into(), target as f64));
+                    record
+                        .extra
+                        .push(("seek_checkpoints".into(), checkpoints as f64));
+                    record
+                        .extra
+                        .push(("seek_interval_k".into(), interval as f64));
+                }
                 Err(_) => record.replay_deterministic = false,
             }
         }

@@ -86,7 +86,7 @@ impl ParallelStats {
 
 /// The architectural outcome of a run; two runs replayed
 /// deterministically iff their digests are equal.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StateDigest {
     /// Hash of final committed memory.
     pub mem_hash: u64,
@@ -128,7 +128,7 @@ impl StateDigest {
 }
 
 /// Everything measured during one engine run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RunStats {
     /// Simulated execution time in cycles.
     pub cycles: u64,

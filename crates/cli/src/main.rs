@@ -47,10 +47,15 @@ usage:
   delorean info <file>
   delorean replay <file> [--seed N] [--stratified MAX]
   delorean replay <file> --jobs N [--cert PATH]
+  delorean replay <file> --from N [--to M] [--index PATH] [--jobs N]
+  delorean checkpoint <file> [--every K] [-o PATH]
+  delorean checkpoint <file> --check PATH
   delorean inspect <file> [--watch ADDR]... [--limit N] [--json]
+  delorean inspect <file> --at N [--index PATH] [--json]
   delorean analyze <file> [--json] [--skip static|races|lint]... [--max-examples N]
                   [--deps] [--cert PATH]
   delorean analyze <file> --check-cert PATH
+  delorean analyze <file> --check-index PATH
   delorean analyze --trace PATH [--json]
   delorean bench [--figure figNN]... [--json PATH] [--jobs N] [--full]
                  [--baseline PATH] [--tolerance PCT] [--seed N]
@@ -75,6 +80,7 @@ fn run(argv: &[String]) -> Result<ExitCode, String> {
         "record" => cmd_record(&args).map(|()| ExitCode::SUCCESS),
         "info" => cmd_info(&args).map(|()| ExitCode::SUCCESS),
         "replay" => cmd_replay(&args).map(|()| ExitCode::SUCCESS),
+        "checkpoint" => cmd_checkpoint(&args),
         "inspect" => cmd_inspect(&args).map(|()| ExitCode::SUCCESS),
         "analyze" => cmd_analyze(&args),
         "bench" => cmd_bench(&args),
@@ -128,12 +134,17 @@ fn machine_for(recording: &Recording) -> Machine {
 }
 
 fn machine_from_meta(meta: &StreamMeta) -> Machine {
+    machine_from_meta_with_jobs(meta, 1)
+}
+
+fn machine_from_meta_with_jobs(meta: &StreamMeta, jobs: u32) -> Machine {
     Machine::builder()
         .mode(meta.mode)
         .procs(meta.n_procs)
         .chunk_size(meta.chunk_size)
         .budget(meta.budget)
         .devices(meta.devices)
+        .replay_jobs(jobs)
         .build()
 }
 
@@ -270,6 +281,9 @@ fn cmd_info(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_replay(args: &Args) -> Result<(), String> {
+    if args.get("--from").is_some() || args.get("--to").is_some() {
+        return cmd_replay_window(args);
+    }
     if let Some(jobs) = args.num("--jobs")? {
         return cmd_replay_parallel(args, jobs as u32);
     }
@@ -373,8 +387,163 @@ fn cmd_replay_parallel(args: &Args, jobs: u32) -> Result<(), String> {
     }
 }
 
+/// Resolves and decodes the `.dlrnx` sidecar for a recording: an
+/// explicit `--index PATH`, or the `<file>x` convention next to the
+/// log. Decode failures are typed errors — never a fallback to slot 0.
+fn load_index_for(args: &Args, path: &str) -> Result<delorean::CheckpointIndex, String> {
+    let xpath = args.get("--index").unwrap_or_else(|| format!("{path}x"));
+    let encoded = std::fs::read(&xpath).map_err(|e| {
+        format!("reading {xpath}: {e} (build an index with `delorean checkpoint {path}`)")
+    })?;
+    delorean::CheckpointIndex::from_bytes(&encoded)
+        .map_err(|e| format!("checkpoint index {xpath}: {e}"))
+}
+
+/// Opens a checkpoint cursor over a recording: the `.dlrnx` sidecar
+/// plus the log file, fingerprint-verified against each other.
+fn open_cursor(args: &Args, path: &str) -> Result<delorean::ReplayCursor<BufReader<File>>, String> {
+    let index = load_index_for(args, path)?;
+    let file = File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+    delorean::ReplayCursor::open(BufReader::new(file), index)
+        .map_err(|e| format!("opening checkpoint cursor on {path}: {e}"))
+}
+
+/// `delorean checkpoint <file>` — builds a `.dlrnx` checkpoint-index
+/// sidecar (one indexing replay, snapshots every `--every` commits),
+/// or with `--check PATH` validates an existing sidecar against the
+/// log's fingerprint.
+fn cmd_checkpoint(args: &Args) -> Result<ExitCode, String> {
+    let path = recording_path(args)?.clone();
+    let bytes = std::fs::read(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    if let Some(xpath) = args.get("--check") {
+        let encoded = std::fs::read(&xpath).map_err(|e| format!("reading {xpath}: {e}"))?;
+        return match delorean_analyze::validate_checkpoint_index(&encoded, &bytes) {
+            Ok(s) => {
+                println!(
+                    "checkpoint index OK: {} checkpoint(s) every {} commit(s) over {} commits, \
+                     bound to {path} ({} bytes, fingerprint {:#018x})",
+                    s.entries, s.interval_k, s.total_commits, s.source_bytes, s.fingerprint
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(e) => {
+                println!("checkpoint index INVALID: {e}");
+                Ok(ExitCode::FAILURE)
+            }
+        };
+    }
+    let every = args.num("--every")?.unwrap_or(64);
+    let index = delorean::index_stream(&bytes, every).map_err(|e| e.to_string())?;
+    let out = args
+        .get("-o")
+        .or_else(|| args.get("--out"))
+        .unwrap_or_else(|| format!("{path}x"));
+    let encoded = index.to_bytes();
+    std::fs::write(&out, &encoded).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "indexed {} commits -> {out}: {} checkpoint(s) every {every} commit(s) ({} bytes)",
+        index.total_commits,
+        index.entries.len(),
+        encoded.len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `replay --from N [--to M]`: seeks to the nearest checkpoint at or
+/// before N via the `.dlrnx` sidecar, rolls forward, and replays only
+/// the window — through the serial engine, or the chunk-parallel
+/// executor when `--jobs` is given.
+fn cmd_replay_window(args: &Args) -> Result<(), String> {
+    let path = recording_path(args)?.clone();
+    let from = args.num("--from")?.unwrap_or(0);
+    let to = args.num("--to")?;
+    let jobs = args.num("--jobs")?.unwrap_or(1) as u32;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".to_string());
+    }
+    if args.num("--stratified")?.is_some() {
+        return Err("--stratified and --from/--to are mutually exclusive".to_string());
+    }
+    let meta = open_source(&path)?
+        .meta()
+        .ok_or("stream carries no recording metadata")?
+        .clone();
+    let machine = machine_from_meta_with_jobs(&meta, jobs);
+    let mut cursor = open_cursor(args, &path)?;
+    let report = machine
+        .replay_window(&mut cursor, from, to)
+        .map_err(|e| e.to_string())?;
+    let span = match to {
+        Some(t) => format!("{from}..{t}"),
+        None => format!("{from}..end"),
+    };
+    println!(
+        "replayed window {span}: {} commit(s){}",
+        report.stats.total_commits,
+        if jobs > 1 {
+            format!(" ({jobs} jobs)")
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "digest fingerprint {:#018x}",
+        report.stats.digest.fingerprint()
+    );
+    if report.deterministic {
+        println!("deterministic: yes — window reproduced bit-exactly");
+        Ok(())
+    } else {
+        Err(format!(
+            "replay diverged: {}",
+            report.divergence.unwrap_or_default()
+        ))
+    }
+}
+
+/// `inspect --at N`: restores the architectural state at commit N via
+/// the checkpoint index (seek + bounded roll-forward, not a full
+/// replay) and prints its summary.
+fn cmd_inspect_at(args: &Args, path: &str, at: u64, json: bool) -> Result<(), String> {
+    let meta = open_source(path)?
+        .meta()
+        .ok_or("stream carries no recording metadata")?
+        .clone();
+    let machine = machine_from_meta(&meta);
+    let mut cursor = open_cursor(args, path)?;
+    let ck = machine
+        .state_at(&mut cursor, at)
+        .map_err(|e| e.to_string())?;
+    if json {
+        let chunks: Vec<String> = ck.state.chunks_done.iter().map(u64::to_string).collect();
+        println!(
+            "{{\"event\":\"state_at\",\"gcc\":{},\"checkpoint_id\":\"{:#018x}\",\"chunks_done\":[{}],\"max_retired\":{}}}",
+            ck.gcc,
+            ck.id(),
+            chunks.join(","),
+            ck.max_retired()
+        );
+    } else {
+        println!("state at commit {}:", ck.gcc);
+        println!(
+            "  workload     : {} (seed {})",
+            ck.workload.name, ck.app_seed
+        );
+        println!("  processors   : {}", ck.n_procs);
+        println!("  checkpoint id: {:#018x}", ck.id());
+        println!("  max retired  : {} instructions", ck.max_retired());
+        for (p, c) in ck.state.chunks_done.iter().enumerate() {
+            println!("  P{p:<2} committed : {c} chunk(s)");
+        }
+    }
+    Ok(())
+}
+
 fn cmd_inspect(args: &Args) -> Result<(), String> {
     let path = recording_path(args)?.clone();
+    if let Some(at) = args.num("--at")? {
+        return cmd_inspect_at(args, &path, at, args.has("--json"));
+    }
     let source = open_source(&path)?;
     let mode = source
         .meta()
@@ -502,6 +671,27 @@ fn cmd_analyze(args: &Args) -> Result<ExitCode, String> {
     let skip = |pass: &str| skip.iter().any(|s| s == pass);
     let max_examples = args.num("--max-examples")?.map(|n| n as usize);
     let deps_requested = args.has("--deps") || args.get("--cert").is_some();
+
+    // `--check-index` is a standalone verb: validate an existing
+    // `.dlrnx` checkpoint index against this stream and exit.
+    if let Some(xpath) = args.get("--check-index") {
+        let encoded = std::fs::read(&xpath).map_err(|e| format!("reading {xpath}: {e}"))?;
+        let bytes = std::fs::read(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        return match delorean_analyze::validate_checkpoint_index(&encoded, &bytes) {
+            Ok(s) => {
+                println!(
+                    "checkpoint index OK: {} checkpoint(s) every {} commit(s) over {} commits, \
+                     bound to {path} ({} bytes, fingerprint {:#018x})",
+                    s.entries, s.interval_k, s.total_commits, s.source_bytes, s.fingerprint
+                );
+                Ok(ExitCode::SUCCESS)
+            }
+            Err(e) => {
+                println!("checkpoint index INVALID: {e}");
+                Ok(ExitCode::FAILURE)
+            }
+        };
+    }
 
     // `--check-cert` is a standalone verb: validate an existing
     // certificate against this stream and exit.

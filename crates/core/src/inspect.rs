@@ -306,13 +306,18 @@ impl<S: LogSource> ReplayInspector<S> {
         // differ by at most one and the next committer is the first
         // processor still at the minimum. A replay resumed mid-round
         // (from an interval checkpoint) must restart the cursor at that
-        // processor, not at 0.
-        let rr_cursor = chunks_done
-            .iter()
-            .copied()
-            .min()
-            .and_then(|lo| chunks_done.iter().position(|&c| c == lo))
-            .map_or(0, |p| p as u32);
+        // processor, not at 0. Sources that carry an explicit resume
+        // phase (checkpoint seeks) override the derivation — counters
+        // alone cannot recover the cursor once processors halt at
+        // different chunk counts.
+        let rr_cursor = source.resume_phase().unwrap_or_else(|| {
+            chunks_done
+                .iter()
+                .copied()
+                .min()
+                .and_then(|lo| chunks_done.iter().position(|&c| c == lo))
+                .map_or(0, |p| p as u32)
+        });
         Ok(Self {
             source,
             mode,
@@ -368,6 +373,26 @@ impl<S: LogSource> ReplayInspector<S> {
     /// Global commit count reached so far.
     pub fn gcc(&self) -> u64 {
         self.gcc
+    }
+
+    /// The PicoLog round-robin cursor at the current replay point (the
+    /// processor the predefined order names next). Always defined;
+    /// meaningful only under [`Mode::PicoLog`].
+    pub fn rr_phase(&self) -> u32 {
+        self.rr_cursor
+    }
+
+    /// The state digest at the current replay point — the same schema
+    /// the engine publishes in [`delorean_chunk::RunStats`], so a
+    /// partial software replay can be fingerprint-compared against a
+    /// full run truncated to the same commit.
+    pub fn digest(&self) -> delorean_chunk::StateDigest {
+        delorean_chunk::StateDigest {
+            mem_hash: self.memory.content_hash(),
+            stream_hashes: self.vms.iter().map(Vm::stream_hash).collect(),
+            retired: self.vms.iter().map(Vm::retired).collect(),
+            committed_chunks: self.chunks_done.clone(),
+        }
     }
 
     /// Retired instructions of processor `p` at the current point.

@@ -63,6 +63,10 @@ pub mod stratify;
 pub mod stream;
 mod wire;
 
+pub use checkpoint::{
+    index_stream, CheckpointEntry, CheckpointError, CheckpointIndex, CheckpointStage,
+    IntervalCheckpoint, ReplayCursor, Snapshot, SystemCheckpoint,
+};
 pub use error::ReplayError;
 pub use machine::{Machine, MachineBuilder, Recording, ReplayReport};
 pub use mode::Mode;
@@ -73,7 +77,7 @@ pub use replayer::Replayer;
 pub use session::{HookStage, NoopStage, Session};
 pub use stream::{
     EventSegment, FileSink, FileSource, LogSink, LogSource, MemorySink, MemorySource,
-    PositionedDecodeError, SegmentWalker, SinkError, StreamPosition, WalkedSegment,
+    PositionedDecodeError, SegmentMark, SegmentWalker, SinkError, StreamPosition, WalkedSegment,
 };
 
 // Re-export the substrate types users need at the API boundary.

@@ -1,6 +1,6 @@
 //! The top-level record/replay API.
 
-use crate::checkpoint::{IntervalCheckpoint, SystemCheckpoint};
+use crate::checkpoint::{IntervalCheckpoint, ReplayCursor, SystemCheckpoint};
 use crate::error::ReplayError;
 use crate::log::MemoryOrderingSizes;
 use crate::mode::Mode;
@@ -488,6 +488,108 @@ impl Machine {
         opts: &crate::parallel::ParallelReplayOptions,
     ) -> Result<(ReplayReport, crate::parallel::SpeculationStats), ReplayError> {
         self.session().replay_parallel(source, opts)
+    }
+
+    /// The replay-side timing seed the machine's replay entry points
+    /// perturb the recorded seed with.
+    pub(crate) fn replay_seed(&self) -> u64 {
+        self.timing_seed ^ 0x5a5a_5a5a
+    }
+
+    /// Replays a window of a recording through a seekable
+    /// [`ReplayCursor`]: the nearest checkpoint at or before `from` is
+    /// restored, the stream is rolled forward to `from`, and replay
+    /// resumes mid-stream. With `to = None` the window runs to the end
+    /// of the recording (on the engine, chunk-parallel when the
+    /// machine's `replay_jobs > 1`) and the report is byte-identical —
+    /// digest, verdict, divergence and errors — to a full replay from
+    /// slot 0. With `to = Some(m)` the window stops exactly at commit
+    /// `m` on the software inspector and the report's digest is the
+    /// state digest at that commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError`] when the window bounds are outside the
+    /// recording, the machine shape or mode does not match, or the
+    /// stream fails mid-window.
+    pub fn replay_window<R: std::io::Read + std::io::Seek>(
+        &self,
+        cursor: &mut ReplayCursor<R>,
+        from: u64,
+        to: Option<u64>,
+    ) -> Result<ReplayReport, ReplayError> {
+        self.session()
+            .replay_window(cursor, from, to, self.replay_jobs)
+    }
+
+    /// The full architectural state at commit `gcc`, reached through
+    /// the cursor's checkpoint index instead of a slot-0 replay: seek
+    /// to the nearest checkpoint at or before `gcc`, roll forward, and
+    /// capture. Equivalent to [`Recording::checkpoint_at`] on the same
+    /// recording, at a cost proportional to the checkpoint interval
+    /// rather than to `gcc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReplayError`] if `gcc` exceeds the recording's
+    /// commit count, the machine shape does not match, or the logs are
+    /// inconsistent.
+    pub fn state_at<R: std::io::Read + std::io::Seek>(
+        &self,
+        cursor: &mut ReplayCursor<R>,
+        gcc: u64,
+    ) -> Result<IntervalCheckpoint, ReplayError> {
+        let total = cursor.index().total_commits;
+        if gcc > total {
+            return Err(ReplayError::Diverged {
+                detail: format!("recording has only {total} commits, cannot checkpoint at {gcc}"),
+            });
+        }
+        if cursor.index().n_procs != self.n_procs {
+            return Err(ReplayError::MachineMismatch {
+                recorded: cursor.index().n_procs,
+                replaying: self.n_procs,
+            });
+        }
+        let (src, start) = cursor.source_at(gcc).map_err(|e| ReplayError::Source {
+            detail: e.to_string(),
+        })?;
+        let Some(meta) = src.meta().cloned() else {
+            return Err(ReplayError::Source {
+                detail: "log source carries no recording metadata".to_string(),
+            });
+        };
+        let mut inspector =
+            crate::inspect::ReplayInspector::from_source(&mut *src).map_err(|e| {
+                ReplayError::Diverged {
+                    detail: e.to_string(),
+                }
+            })?;
+        while start + inspector.gcc() < gcc {
+            match inspector.step() {
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    return Err(ReplayError::Diverged {
+                        detail: format!(
+                            "recording has only {} commits, cannot checkpoint at {gcc}",
+                            start + inspector.gcc()
+                        ),
+                    })
+                }
+                Err(e) => {
+                    return Err(ReplayError::Diverged {
+                        detail: e.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(IntervalCheckpoint {
+            workload: meta.workload,
+            app_seed: meta.app_seed,
+            n_procs: meta.n_procs,
+            gcc,
+            state: inspector.capture(),
+        })
     }
 
     /// Replays `recording` once per seed in `seeds` — the paper's

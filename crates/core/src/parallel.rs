@@ -462,13 +462,17 @@ impl<'o, S: LogSource> Executor<'o, S> {
         }
         // PicoLog replays resumed mid-round must restart the
         // round-robin cursor at the first processor still at the
-        // minimum chunk count (see the serial inspector).
-        let rr_cursor = chunks_done
-            .iter()
-            .copied()
-            .min()
-            .and_then(|lo| chunks_done.iter().position(|&c| c == lo))
-            .map_or(0, |p| p as u32);
+        // minimum chunk count (see the serial inspector). A source
+        // seeked to a checkpoint carries the phase explicitly and
+        // overrides the derivation.
+        let rr_cursor = source.resume_phase().unwrap_or_else(|| {
+            chunks_done
+                .iter()
+                .copied()
+                .min()
+                .and_then(|lo| chunks_done.iter().position(|&c| c == lo))
+                .map_or(0, |p| p as u32)
+        });
         Self {
             source,
             opts,

@@ -30,7 +30,7 @@
 //!   sink write errors, with a caller-supplied [`BackoffClock`] so
 //!   tests stay deterministic.
 
-use crate::checkpoint::IntervalCheckpoint;
+use crate::checkpoint::{CheckpointIndex, IntervalCheckpoint};
 use crate::mode::Mode;
 use crate::serialize::DecodeError;
 use crate::stream::{
@@ -704,6 +704,7 @@ pub struct RecoveringSource {
     committed: Vec<u64>,
     trailer: Option<StreamTrailer>,
     commits: u64,
+    phase: Option<u32>,
 }
 
 impl RecoveringSource {
@@ -759,6 +760,7 @@ impl RecoveringSource {
             committed,
             trailer,
             commits: local,
+            phase: None,
         }
     }
 
@@ -808,6 +810,62 @@ impl RecoveringSource {
             .then(|| s.trailer.clone())
             .flatten();
         Ok(Self::over(meta, r, trailer))
+    }
+
+    /// Resumes recovered region `region` from the nearest surviving
+    /// checkpoint in a `.dlrnx` index at or before the damage.
+    ///
+    /// The sidecar outlives the damaged log: its snapshots were taken
+    /// from the intact stream, so the entry at the commit just before
+    /// the region's first seeds a resumed replay without re-decoding —
+    /// or even possessing — the destroyed prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the index describes a different
+    /// machine shape, or when the nearest checkpoint at or before the
+    /// region boundary sits strictly before it — the commits between
+    /// the checkpoint and the region include a lost range, and lost
+    /// state cannot be rolled forward into existence.
+    pub fn resume_from_index(
+        s: &Salvage,
+        region: usize,
+        index: &CheckpointIndex,
+    ) -> Result<Self, String> {
+        let r = s
+            .regions
+            .get(region)
+            .ok_or_else(|| format!("salvage has no region {region}"))?;
+        if index.mode != s.meta.mode || index.n_procs != s.meta.n_procs {
+            return Err(format!(
+                "checkpoint index describes a {:?}/{}-proc stream, salvage is {:?}/{}",
+                index.mode, index.n_procs, s.meta.mode, s.meta.n_procs
+            ));
+        }
+        let boundary = r.range.first - 1;
+        let entry = index
+            .nearest_at_or_before(boundary)
+            .ok_or_else(|| format!("index has no checkpoint at or before commit {boundary}"))?;
+        if entry.gcc != boundary {
+            return Err(format!(
+                "nearest surviving checkpoint (commit {}) does not reach commit {boundary}, \
+                 the boundary of region {region}: the intervening commits include a lost \
+                 range and cannot be rolled forward",
+                entry.gcc
+            ));
+        }
+        let ck = IntervalCheckpoint {
+            workload: s.meta.workload,
+            app_seed: s.meta.app_seed,
+            n_procs: s.meta.n_procs,
+            gcc: entry.gcc,
+            state: entry.state.clone(),
+        };
+        let mut src = Self::resume(s, region, &ck)?;
+        // The entry carries the exact PicoLog round-robin cursor, which
+        // beats the replayer's first-at-minimum derivation.
+        src.phase = Some(entry.rr_cursor);
+        Ok(src)
     }
 
     /// Number of commits this source replays.
@@ -899,6 +957,10 @@ impl LogSource for RecoveringSource {
 
     fn error(&self) -> Option<&str> {
         None
+    }
+
+    fn resume_phase(&self) -> Option<u32> {
+        self.phase
     }
 }
 

@@ -95,11 +95,13 @@ impl<S: LogSource> Replayer<S> {
         Self {
             mode: source.mode(),
             n_procs: source.n_procs(),
-            source,
             pi_pos: 0,
-            rr_cursor: 0,
+            // A source resumed from a checkpoint carries the PicoLog
+            // round-robin phase its window starts at.
+            rr_cursor: source.resume_phase().unwrap_or(0),
             strata: None,
             divergence: None,
+            source,
         }
     }
 

@@ -32,16 +32,20 @@
 //! assert_eq!(counter.0, recording.stats.total_commits);
 //! ```
 
-use crate::checkpoint::{IntervalCheckpoint, SystemCheckpoint};
+use crate::checkpoint::{IntervalCheckpoint, ReplayCursor, Snapshot, SystemCheckpoint};
 use crate::error::ReplayError;
+use crate::inspect::ReplayInspector;
 use crate::machine::{panic_silence, Machine, Recording, ReplayReport};
 use crate::replayer::Replayer;
-use crate::stream::{LogSink, LogSource, MemorySink, StreamMeta, StreamRecorder, StreamTrailer};
+use crate::stream::{
+    FileSource, LogSink, LogSource, MemorySink, StreamMeta, StreamRecorder, StreamTrailer,
+};
 use delorean_chunk::{
     run, run_from, ArbiterContext, CommitRecord, Committer, EventObserver, ExecutionHooks,
     GrantPolicy, HookStack, RunStats, StateDigest, SubstrateEvent,
 };
 use delorean_sim::RunSpec;
+use std::io::{Read, Seek};
 
 /// A passive pipeline stage stacked on a [`Session`].
 ///
@@ -408,6 +412,141 @@ impl<'m, 's> Session<'m, 's> {
         Ok((verified_report(&reference, stats, divergence), spec))
     }
 
+    /// Replays a window of a recording through a seekable
+    /// [`ReplayCursor`] — see [`Machine::replay_window`] for the
+    /// contract. `jobs > 1` selects the chunk-parallel executor for
+    /// run-to-end windows; bounded windows (`to = Some(_)`) replay on
+    /// the software inspector, which can stop at an exact commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReplayError`] when the window bounds are outside the
+    /// recording, the machine shape or mode does not match, or the
+    /// stream fails mid-window — byte-identical to a full replay
+    /// truncated to the same window.
+    pub fn replay_window<R: Read + Seek>(
+        mut self,
+        cursor: &mut ReplayCursor<R>,
+        from: u64,
+        to: Option<u64>,
+        jobs: u32,
+    ) -> Result<ReplayReport, ReplayError> {
+        let m = self.machine;
+        let total = cursor.index().total_commits;
+        if from > total {
+            return Err(ReplayError::Diverged {
+                detail: format!(
+                    "recording has only {total} commits, cannot start a window at {from}"
+                ),
+            });
+        }
+        if let Some(t) = to {
+            if t < from {
+                return Err(ReplayError::Diverged {
+                    detail: format!("window end {t} precedes window start {from}"),
+                });
+            }
+            if t > total {
+                return Err(ReplayError::Diverged {
+                    detail: format!(
+                        "recording has only {total} commits, cannot end a window at {t}"
+                    ),
+                });
+            }
+        }
+        // Fetch the cross-check state before mutably borrowing the
+        // cursor's source.
+        let expected_state = to.and_then(|t| {
+            cursor
+                .index()
+                .entries
+                .iter()
+                .find(|e| e.gcc == t)
+                .map(|e| e.state.clone())
+        });
+        let (src, start) = cursor.source_at(from).map_err(|e| ReplayError::Source {
+            detail: e.to_string(),
+        })?;
+        if let Some(snap) = roll_forward(src, start, from)? {
+            src.rebase_window(&snap);
+        }
+        match to {
+            None if jobs > 1 => {
+                let opts = crate::parallel::ParallelReplayOptions::with_jobs(jobs);
+                self.replay_parallel(&mut *src, &opts).map(|(r, _)| r)
+            }
+            None => {
+                let seed = m.replay_seed();
+                self.replay_from(&mut *src, seed)
+            }
+            Some(t) => {
+                let Some(meta) = src.meta().cloned() else {
+                    return Err(ReplayError::Source {
+                        detail: "log source carries no recording metadata".to_string(),
+                    });
+                };
+                if meta.n_procs != m.procs() {
+                    return Err(ReplayError::MachineMismatch {
+                        recorded: meta.n_procs,
+                        replaying: m.procs(),
+                    });
+                }
+                if meta.mode != m.mode() {
+                    return Err(ReplayError::ModeMismatch {
+                        recorded: meta.mode,
+                        replaying: m.mode(),
+                    });
+                }
+                for stage in &mut self.stages {
+                    stage.on_begin(&meta);
+                }
+                let mut ins = ReplayInspector::from_source(&mut *src)
+                    .map_err(|e| ReplayError::Diverged { detail: e.detail })?;
+                let mut divergence = None;
+                while from + ins.gcc() < t {
+                    match ins.step() {
+                        Ok(Some(ev)) => {
+                            let sub = ev.to_substrate();
+                            for stage in &mut self.stages {
+                                stage.on_event(ev.gcc, &sub);
+                            }
+                        }
+                        Ok(None) => {
+                            divergence = Some(format!(
+                                "stream ended at commit {} inside the window",
+                                from + ins.gcc()
+                            ));
+                            break;
+                        }
+                        Err(e) => return Err(ReplayError::Diverged { detail: e.detail }),
+                    }
+                }
+                if divergence.is_none() {
+                    if let Some(exp) = &expected_state {
+                        if ins.capture() != *exp {
+                            divergence = Some(format!(
+                                "state at commit {t} differs from the checkpoint index"
+                            ));
+                        }
+                    }
+                }
+                let stats = RunStats {
+                    total_commits: ins.gcc(),
+                    digest: ins.digest(),
+                    ..RunStats::default()
+                };
+                for stage in &mut self.stages {
+                    stage.on_end(&stats);
+                }
+                Ok(ReplayReport {
+                    deterministic: divergence.is_none(),
+                    divergence,
+                    stats,
+                })
+            }
+        }
+    }
+
     /// Replays `recording` driven by a *stratified* PI log — see
     /// [`Machine::replay_stratified`] for the contract.
     ///
@@ -492,6 +631,41 @@ impl<'m, 's> Session<'m, 's> {
             }
         }
     }
+}
+
+/// Rolls a checkpoint-seeked [`FileSource`] forward from the window
+/// start `start` (the checkpoint's commit count) to `target` with the
+/// software inspector, returning the snapshot to rebase the window on —
+/// or `None` when the window already starts exactly at the checkpoint.
+fn roll_forward<R: Read + Seek>(
+    src: &mut FileSource<R>,
+    start: u64,
+    target: u64,
+) -> Result<Option<Snapshot>, ReplayError> {
+    if target == start {
+        return Ok(None);
+    }
+    let mut ins = ReplayInspector::from_source(&mut *src)
+        .map_err(|e| ReplayError::Diverged { detail: e.detail })?;
+    while start + ins.gcc() < target {
+        match ins.step() {
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                return Err(ReplayError::Diverged {
+                    detail: format!(
+                        "recording has only {} commits, cannot seek to {target}",
+                        start + ins.gcc()
+                    ),
+                })
+            }
+            Err(e) => return Err(ReplayError::Diverged { detail: e.detail }),
+        }
+    }
+    Ok(Some(Snapshot {
+        gcc: target,
+        rr_cursor: ins.rr_phase(),
+        state: ins.capture(),
+    }))
 }
 
 /// The one digest-verification body every replay path funnels through:

@@ -47,8 +47,8 @@ use delorean_chunk::{
 };
 use delorean_isa::workload::{self, WorkloadSpec};
 use delorean_isa::{Addr, Word};
-use std::collections::VecDeque;
-use std::io::{self, Read};
+use std::collections::{HashSet, VecDeque};
+use std::io::{self, Read, Seek, SeekFrom};
 
 /// Default number of commit events buffered before [`FileSink`] flushes
 /// a compressed segment.
@@ -546,6 +546,53 @@ impl LogSink for MemorySink {
 // Wire codecs
 // ---------------------------------------------------------------------------
 
+/// Encodes a [`StartState`] (memory image, per-processor architected
+/// state, chunk counters) — shared by the stream metadata's interval
+/// block and the `.dlrnx` checkpoint-index entries, so the two formats
+/// can never drift apart.
+pub(crate) fn encode_start_state(w: &mut Writer, start: &StartState) {
+    w.u64(start.memory.len() as u64);
+    for &word in &start.memory {
+        w.u64(word);
+    }
+    for st in &start.vm_states {
+        w.bytes(&st.to_bytes());
+    }
+    for &c in &start.chunks_done {
+        w.u64(c);
+    }
+}
+
+/// Decodes a [`StartState`] for an `n_procs`-processor machine — the
+/// inverse of [`encode_start_state`].
+pub(crate) fn decode_start_state(
+    r: &mut Reader<'_>,
+    n_procs: u32,
+) -> Result<StartState, DecodeError> {
+    let n = r.len("interval memory len")?;
+    let mut memory = Vec::with_capacity(n);
+    for _ in 0..n {
+        memory.push(r.u64("interval memory word")?);
+    }
+    let mut vm_states = Vec::with_capacity(n_procs as usize);
+    for _ in 0..n_procs {
+        let b = r.bytes("interval vm state")?;
+        vm_states.push(
+            delorean_isa::vm::VmState::from_bytes(b)
+                .ok_or(DecodeError::Truncated("interval vm state"))?,
+        );
+    }
+    let mut chunks_done = Vec::with_capacity(n_procs as usize);
+    for _ in 0..n_procs {
+        chunks_done.push(r.u64("interval chunks done")?);
+    }
+    Ok(StartState {
+        memory,
+        vm_states,
+        chunks_done,
+    })
+}
+
 fn encode_meta(meta: &StreamMeta) -> Vec<u8> {
     let mut w = Writer::new();
     w.u8(mode_tag(meta.mode));
@@ -562,16 +609,7 @@ fn encode_meta(meta: &StreamMeta) -> Vec<u8> {
         None => w.u8(0),
         Some(start) => {
             w.u8(1);
-            w.u64(start.memory.len() as u64);
-            for &word in &start.memory {
-                w.u64(word);
-            }
-            for st in &start.vm_states {
-                w.bytes(&st.to_bytes());
-            }
-            for &c in &start.chunks_done {
-                w.u64(c);
-            }
+            encode_start_state(&mut w, start);
         }
     }
     // Arbiter topology rides at the tail so global-arbiter streams stay
@@ -607,30 +645,7 @@ pub(crate) fn decode_meta(bytes: &[u8]) -> Result<StreamMeta, DecodeError> {
     let initial_mem_hash = r.u64("checkpoint hash")?;
     let interval = match r.u8("interval flag")? {
         0 => None,
-        1 => {
-            let n = r.len("interval memory len")?;
-            let mut memory = Vec::with_capacity(n);
-            for _ in 0..n {
-                memory.push(r.u64("interval memory word")?);
-            }
-            let mut vm_states = Vec::with_capacity(n_procs as usize);
-            for _ in 0..n_procs {
-                let b = r.bytes("interval vm state")?;
-                vm_states.push(
-                    delorean_isa::vm::VmState::from_bytes(b)
-                        .ok_or(DecodeError::Truncated("interval vm state"))?,
-                );
-            }
-            let mut chunks_done = Vec::with_capacity(n_procs as usize);
-            for _ in 0..n_procs {
-                chunks_done.push(r.u64("interval chunks done")?);
-            }
-            Some(StartState {
-                memory,
-                vm_states,
-                chunks_done,
-            })
-        }
+        1 => Some(decode_start_state(&mut r, n_procs)?),
         _ => return Err(DecodeError::Truncated("interval flag")),
     };
     // Legacy (and global-arbiter) streams end here; a trailing topology
@@ -1323,6 +1338,79 @@ pub trait LogSource {
     fn finish(&mut self) -> Result<StreamTrailer, String>;
     /// First stream error encountered, if any.
     fn error(&self) -> Option<&str>;
+    /// The PicoLog round-robin phase a replay resuming at this source's
+    /// position must restart its commit cursor at, when the source was
+    /// positioned mid-stream (e.g. by a checkpoint seek). `None` means
+    /// the source carries no phase and the replayer should fall back to
+    /// its own derivation — the default for sources that always start
+    /// at a recording's beginning.
+    fn resume_phase(&self) -> Option<u32> {
+        None
+    }
+    /// Repositions the source at the start of event segment `ordinal`
+    /// (0-based, in stream order), restoring the decode counters that
+    /// segment started with. Only segments already visited this session
+    /// can be sought; sources without random access refuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the source cannot seek or the segment
+    /// was never visited.
+    fn seek_to_segment(&mut self, ordinal: u64) -> Result<(), String> {
+        Err(format!(
+            "this log source does not support seeking (segment {ordinal})"
+        ))
+    }
+}
+
+/// Any `&mut LogSource` is itself a [`LogSource`]: lets a caller lend a
+/// source to a replayer or inspector (which consume their source by
+/// value) and keep it afterwards — the seam windowed replay uses to
+/// roll a source forward with the inspector before handing it to the
+/// engine.
+impl<S: LogSource> LogSource for &mut S {
+    fn mode(&self) -> Mode {
+        (**self).mode()
+    }
+    fn n_procs(&self) -> u32 {
+        (**self).n_procs()
+    }
+    fn meta(&self) -> Option<&StreamMeta> {
+        (**self).meta()
+    }
+    fn pi_peek(&mut self) -> Option<Committer> {
+        (**self).pi_peek()
+    }
+    fn forced_size(&mut self, core: u32, index: u64) -> Option<u32> {
+        (**self).forced_size(core, index)
+    }
+    fn interrupt_at(&mut self, core: u32, index: u64) -> Option<(u16, Word)> {
+        (**self).interrupt_at(core, index)
+    }
+    fn io_value(&mut self, core: u32, index: u64, seq: u32) -> Option<Word> {
+        (**self).io_value(core, index, seq)
+    }
+    fn dma_slot_matches(&mut self, gcc: u64) -> bool {
+        (**self).dma_slot_matches(gcc)
+    }
+    fn dma_next(&mut self) -> Option<Vec<(Addr, Word)>> {
+        (**self).dma_next()
+    }
+    fn note_commit(&mut self, committer: Committer) {
+        (**self).note_commit(committer)
+    }
+    fn finish(&mut self) -> Result<StreamTrailer, String> {
+        (**self).finish()
+    }
+    fn error(&self) -> Option<&str> {
+        (**self).error()
+    }
+    fn resume_phase(&self) -> Option<u32> {
+        (**self).resume_phase()
+    }
+    fn seek_to_segment(&mut self, ordinal: u64) -> Result<(), String> {
+        (**self).seek_to_segment(ordinal)
+    }
 }
 
 /// A [`LogSource`] over a borrowed in-memory [`LogSet`].
@@ -1451,6 +1539,21 @@ enum Segment {
     End,
 }
 
+/// One entry of a [`FileSource`]'s segment offset index: where an event
+/// segment starts in the byte stream and the decode counters it starts
+/// with. Built incrementally as segments are decoded; a seek to a
+/// marked segment repositions the reader directly, without re-decoding
+/// the prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMark {
+    /// Byte offset of the segment's kind byte.
+    pub byte_offset: u64,
+    /// Global commits decoded before this segment.
+    pub start_gcc: u64,
+    /// Per-processor committed-chunk counters before this segment.
+    pub start_chunks: Vec<u64>,
+}
+
 fn read_exact_or<R: Read>(
     r: &mut R,
     buf: &mut [u8],
@@ -1501,6 +1604,20 @@ struct SegmentDecoder<R: Read> {
     done: bool,
     byte_offset: u64,
     segments: u64,
+    /// Random-access hook, set only by seek-capable constructors.
+    /// Stored as a plain fn pointer so the decoder stays generic over
+    /// any `Read` without a `Seek` bound on the type itself.
+    seek: Option<fn(&mut R, u64) -> io::Result<u64>>,
+    /// Byte offsets of segments whose checksums already verified this
+    /// session — a re-read after a seek skips re-verification.
+    verified: HashSet<u64>,
+    /// Checksum verifications actually performed (memoization probe).
+    verifications: u64,
+    /// Offset index of every event segment visited, sorted by offset.
+    marks: Vec<SegmentMark>,
+    /// Byte offset of the first segment frame (end of the header) —
+    /// the rewind target, known even before any segment is visited.
+    first_offset: u64,
 }
 
 /// Decodes a little-endian integer from the first `N` bytes of `b`.
@@ -1512,7 +1629,14 @@ fn le_bytes<const N: usize>(b: &[u8]) -> [u8; N] {
 }
 
 impl<R: Read> SegmentDecoder<R> {
-    fn open(mut reader: R) -> Result<Self, DecodeError> {
+    fn open(reader: R) -> Result<Self, DecodeError> {
+        Self::open_with(reader, None)
+    }
+
+    fn open_with(
+        mut reader: R,
+        seek: Option<fn(&mut R, u64) -> io::Result<u64>>,
+    ) -> Result<Self, DecodeError> {
         let mut head = [0u8; 14];
         let got = read_up_to(&mut reader, &mut head)?;
         if got == 0 {
@@ -1555,7 +1679,37 @@ impl<R: Read> SegmentDecoder<R> {
             done: false,
             byte_offset: 14 + 8 + meta_len,
             segments: 0,
+            seek,
+            verified: HashSet::new(),
+            verifications: 0,
+            marks: Vec::new(),
+            first_offset: 14 + 8 + meta_len,
         })
+    }
+
+    /// Repositions the reader at `byte_offset` (the kind byte of a
+    /// segment frame) and restores the decode counters that segment
+    /// starts with. The LZ77 decoder is reset — sound because the sink
+    /// drops its match window at every segment boundary.
+    fn seek_to(
+        &mut self,
+        byte_offset: u64,
+        start_gcc: u64,
+        start_chunks: &[u64],
+    ) -> Result<(), DecodeError> {
+        let Some(seek) = self.seek else {
+            return Err(DecodeError::Io(
+                "log reader does not support seeking".to_string(),
+            ));
+        };
+        seek(&mut self.reader, byte_offset).map_err(|e| DecodeError::Io(e.to_string()))?;
+        self.byte_offset = byte_offset;
+        self.gcc = start_gcc;
+        self.counters = start_chunks.to_vec();
+        self.lz = delorean_compress::lz77::Decoder::new();
+        self.seen_trailer = false;
+        self.done = false;
+        Ok(())
     }
 
     fn position(&self) -> StreamPosition {
@@ -1581,6 +1735,7 @@ impl<R: Read> SegmentDecoder<R> {
         if self.done {
             return Ok(Segment::End);
         }
+        let seg_start = self.byte_offset;
         let mut kind = [0u8; 1];
         match self.reader.read_exact(&mut kind) {
             Ok(()) => {}
@@ -1609,15 +1764,31 @@ impl<R: Read> SegmentDecoder<R> {
         let checksum = u64::from_le_bytes(le_bytes(&head[8..16]));
         let body = read_body(&mut self.reader, body_len, "segment body")?;
         self.byte_offset += body.len() as u64;
-        let mut f = fnv_hasher();
-        f.update(&kind);
-        f.update(&body_len.to_le_bytes());
-        f.update(&body);
-        if f.value() != checksum {
-            return Err(DecodeError::BadChecksum);
+        if !self.verified.contains(&seg_start) {
+            let mut f = fnv_hasher();
+            f.update(&kind);
+            f.update(&body_len.to_le_bytes());
+            f.update(&body);
+            if f.value() != checksum {
+                return Err(DecodeError::BadChecksum);
+            }
+            self.verifications += 1;
+            self.verified.insert(seg_start);
         }
         match kind[0] {
             SEG_EVENTS => {
+                let mark = SegmentMark {
+                    byte_offset: seg_start,
+                    start_gcc: self.gcc,
+                    start_chunks: self.counters.clone(),
+                };
+                match self
+                    .marks
+                    .binary_search_by_key(&seg_start, |m| m.byte_offset)
+                {
+                    Ok(_) => {}
+                    Err(at) => self.marks.insert(at, mark),
+                }
                 let seg = self.decode_events(&body)?;
                 self.segments += 1;
                 Ok(Segment::Events(seg))
@@ -1769,6 +1940,22 @@ pub struct FileSource<R: Read> {
     committed: Vec<u64>,
     chunks_seen: Vec<u64>,
     commits_seen: u64,
+    /// Commit count the current replay window's slot numbering starts
+    /// at. PicoLog DMA slots are recorded relative to this base so an
+    /// engine restarted mid-stream (whose own commit counter begins at
+    /// zero) still matches them.
+    slot_base: u64,
+    /// Events with absolute commit number below this are decoded for
+    /// their counter side effects but not enqueued — the prefix a
+    /// checkpoint seek replays past without re-executing.
+    skip_until: u64,
+    /// PicoLog round-robin cursor the current window resumes at, when
+    /// the window starts mid-stream. `None` for slot-0 windows.
+    phase: Option<u32>,
+    /// The interval start state the stream was opened with, kept so a
+    /// rewind to segment 0 restores the pristine metadata after a
+    /// checkpoint seek overwrote it.
+    base_interval: Option<StartState>,
     trailer: Option<StreamTrailer>,
     eof: bool,
     error: Option<String>,
@@ -1792,10 +1979,14 @@ impl<R: Read> FileSource<R> {
     /// Returns a [`DecodeError`] when the header is corrupt, from an
     /// incompatible version, or references an unknown workload.
     pub fn open(reader: R) -> Result<Self, DecodeError> {
-        let dec = SegmentDecoder::open(reader)?;
+        Self::from_decoder(SegmentDecoder::open(reader)?)
+    }
+
+    fn from_decoder(dec: SegmentDecoder<R>) -> Result<Self, DecodeError> {
         let n = dec.meta.n_procs as usize;
         let committed = dec.meta.start_chunks();
         let chunks_seen = committed.clone();
+        let dec_interval = dec.meta.interval.clone();
         Ok(Self {
             dec,
             pi: VecDeque::new(),
@@ -1807,10 +1998,90 @@ impl<R: Read> FileSource<R> {
             committed,
             chunks_seen,
             commits_seen: 0,
+            slot_base: 0,
+            skip_until: 0,
+            phase: None,
+            base_interval: dec_interval,
             trailer: None,
             eof: false,
             error: None,
         })
+    }
+
+    /// Number of checksum verifications actually performed this
+    /// session. Re-reads of already-verified segments (after a seek)
+    /// do not increase this count.
+    pub fn checksums_verified(&self) -> u64 {
+        self.dec.verifications
+    }
+
+    /// Byte-offset index of every event segment this source has
+    /// visited, sorted by offset.
+    pub fn segment_marks(&self) -> &[SegmentMark] {
+        &self.dec.marks
+    }
+
+    fn clear_queues(&mut self) {
+        self.pi.clear();
+        for q in &mut self.cs {
+            q.clear();
+        }
+        for q in &mut self.irq {
+            q.clear();
+        }
+        for q in &mut self.io {
+            q.clear();
+        }
+        self.dma.clear();
+        self.dma_slots.clear();
+    }
+
+    /// Repositions this source at a checkpoint: the decoder seeks to
+    /// the segment containing the checkpoint commit, the restore state
+    /// is installed as the stream's interval start, and events before
+    /// the checkpoint commit are skipped (their counters still advance
+    /// so watermark validation stays intact).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the underlying reader cannot
+    /// seek or the repositioning I/O fails.
+    pub fn seek_to_checkpoint(
+        &mut self,
+        entry: &crate::checkpoint::CheckpointEntry,
+    ) -> Result<(), DecodeError> {
+        self.dec.seek_to(
+            entry.seg_byte_offset,
+            entry.seg_start_gcc,
+            &entry.seg_start_chunks,
+        )?;
+        self.clear_queues();
+        self.commits_seen = entry.seg_start_gcc;
+        self.chunks_seen = entry.seg_start_chunks.clone();
+        self.committed = entry.state.chunks_done.clone();
+        self.skip_until = entry.gcc;
+        self.slot_base = entry.gcc;
+        self.trailer = None;
+        self.eof = false;
+        self.error = None;
+        self.dec.meta.interval = Some(entry.state.clone());
+        self.phase = Some(entry.rr_cursor);
+        Ok(())
+    }
+
+    /// Rebase the current window onto a later snapshot reached by
+    /// rolling the stream forward (via an inspector) from the last
+    /// checkpoint. Buffered PicoLog DMA slots are renumbered relative
+    /// to the new window start.
+    pub(crate) fn rebase_window(&mut self, snap: &crate::checkpoint::Snapshot) {
+        let delta = snap.gcc.saturating_sub(self.slot_base);
+        for s in &mut self.dma_slots {
+            *s = s.saturating_sub(delta);
+        }
+        self.slot_base = snap.gcc;
+        self.committed = snap.state.chunks_done.clone();
+        self.dec.meta.interval = Some(snap.state.clone());
+        self.phase = Some(snap.rr_cursor);
     }
 
     /// Number of log entries currently buffered (a measure of the
@@ -1832,28 +2103,38 @@ impl<R: Read> FileSource<R> {
                 let picolog = self.dec.meta.mode == Mode::PicoLog;
                 let has_pi = self.dec.meta.mode.has_pi_log();
                 for ev in seg.events {
-                    if has_pi {
+                    // Events before the window start are decoded for
+                    // their counter side effects only — the replayer
+                    // resumes from a snapshot past them.
+                    let skip = self.commits_seen < self.skip_until;
+                    if has_pi && !skip {
                         self.pi.push_back(ev.committer);
                     }
                     match ev.committer {
                         Committer::Proc(p) => {
                             let pi = p as usize;
                             self.chunks_seen[pi] = ev.chunk_index;
-                            if let Some(size) = ev.cs_size {
-                                self.cs[pi].push_back((ev.chunk_index, size));
-                            }
-                            if let Some((vector, payload)) = ev.interrupt {
-                                self.irq[pi].push_back((ev.chunk_index, vector, payload));
-                            }
-                            if !ev.io_values.is_empty() {
-                                self.io[pi].push_back((ev.chunk_index, ev.io_values));
+                            if !skip {
+                                if let Some(size) = ev.cs_size {
+                                    self.cs[pi].push_back((ev.chunk_index, size));
+                                }
+                                if let Some((vector, payload)) = ev.interrupt {
+                                    self.irq[pi].push_back((ev.chunk_index, vector, payload));
+                                }
+                                if !ev.io_values.is_empty() {
+                                    self.io[pi].push_back((ev.chunk_index, ev.io_values));
+                                }
                             }
                         }
                         Committer::Dma => {
-                            if picolog {
-                                self.dma_slots.push_back(self.commits_seen);
+                            if !skip {
+                                if picolog {
+                                    self.dma_slots.push_back(
+                                        self.commits_seen.saturating_sub(self.slot_base),
+                                    );
+                                }
+                                self.dma.push_back(ev.dma_data);
                             }
-                            self.dma.push_back(ev.dma_data);
                         }
                     }
                     self.commits_seen += 1;
@@ -1921,7 +2202,10 @@ impl<R: Read> LogSource for FileSource<R> {
     }
 
     fn dma_slot_matches(&mut self, gcc: u64) -> bool {
-        while !self.eof && self.dma_slots.is_empty() && self.commits_seen <= gcc {
+        while !self.eof
+            && self.dma_slots.is_empty()
+            && self.commits_seen.saturating_sub(self.slot_base) <= gcc
+        {
             self.pump();
         }
         self.dma_slots.front() == Some(&gcc)
@@ -1976,6 +2260,63 @@ impl<R: Read> LogSource for FileSource<R> {
 
     fn error(&self) -> Option<&str> {
         self.error.as_deref()
+    }
+
+    fn resume_phase(&self) -> Option<u32> {
+        self.phase
+    }
+
+    fn seek_to_segment(&mut self, ordinal: u64) -> Result<(), String> {
+        let mark = if ordinal == 0 {
+            // Segment 0 starts right after the header — seekable even
+            // before any segment has been visited.
+            SegmentMark {
+                byte_offset: self.dec.first_offset,
+                start_gcc: 0,
+                start_chunks: self.dec.meta.start_chunks(),
+            }
+        } else {
+            self.dec
+                .marks
+                .get(ordinal as usize)
+                .cloned()
+                .ok_or_else(|| format!("segment {ordinal} has not been visited by this source"))?
+        };
+        self.dec
+            .seek_to(mark.byte_offset, mark.start_gcc, &mark.start_chunks)
+            .map_err(|e| e.to_string())?;
+        self.clear_queues();
+        self.commits_seen = mark.start_gcc;
+        self.chunks_seen = mark.start_chunks.clone();
+        self.committed = mark.start_chunks;
+        self.skip_until = mark.start_gcc;
+        self.slot_base = mark.start_gcc;
+        self.phase = None;
+        if ordinal == 0 {
+            self.dec.meta.interval = self.base_interval.clone();
+        }
+        self.trailer = None;
+        self.eof = false;
+        self.error = None;
+        Ok(())
+    }
+}
+
+impl<R: Read + Seek> FileSource<R> {
+    /// Opens a seek-capable stream: identical to [`FileSource::open`],
+    /// but the returned source additionally supports
+    /// [`LogSource::seek_to_segment`] and
+    /// [`FileSource::seek_to_checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the header is corrupt, from an
+    /// incompatible version, or references an unknown workload.
+    pub fn open_seekable(reader: R) -> Result<Self, DecodeError> {
+        Self::from_decoder(SegmentDecoder::open_with(
+            reader,
+            Some(|r: &mut R, pos| r.seek(SeekFrom::Start(pos))),
+        )?)
     }
 }
 

@@ -8,7 +8,7 @@
 
 use delorean::inspect::ReplayInspector;
 use delorean::recover::{salvage, RecoveringSource};
-use delorean::{serialize, FileSink, Machine, Mode, Recording};
+use delorean::{index_stream, serialize, FileSink, Machine, Mode, Recording};
 use delorean_chunk::StartState;
 use delorean_isa::workload;
 use proptest::prelude::*;
@@ -134,6 +134,107 @@ proptest! {
                     prop_assert!(
                         reached == state_at(&recording, n),
                         "salvaged prefix of {n} commits diverged from ground truth"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// `RecoveringSource` × checkpoints: a salvaged stream with
+    /// quarantined ranges resumes each post-gap region from the nearest
+    /// surviving `.dlrnx` checkpoint at or before the damage, replays
+    /// it bit-identically to ground truth, and reports exactly the same
+    /// lost-commit ranges as the salvage alone — the sidecar changes
+    /// what is *replayable*, never what is *lost*.
+    #[test]
+    fn damaged_streams_resume_from_nearest_surviving_checkpoint(
+        seed in 0u64..200,
+        mode_tag in 0u8..3,
+        k in 1u64..7,
+        frac in 0.05f64..0.9,
+        burst in 1usize..96,
+        noise in 1u64..u64::MAX,
+    ) {
+        let mode = [Mode::OrderSize, Mode::OrderOnly, Mode::PicoLog][mode_tag as usize];
+        let (_machine, pristine) = record(mode, seed);
+        let recording = serialize::from_bytes(&pristine).unwrap();
+        let index = index_stream(&pristine, k).unwrap();
+        let total = index.total_commits;
+
+        // Burn a burst of garbage into the stream.
+        let mut damaged = pristine.clone();
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let off = (damaged.len() as f64 * frac) as usize;
+        let end = (off + burst).min(damaged.len());
+        for (i, byte) in damaged[off..end].iter_mut().enumerate() {
+            *byte = noise.wrapping_mul(i as u64 + 1) as u8;
+        }
+
+        let Ok(s) = salvage(&damaged) else {
+            // Header destroyed: a typed error, nothing to resume.
+            return;
+        };
+
+        // Loss accounting is independent of checkpoints: recovered and
+        // lost ranges must partition [1, total] exactly.
+        if let Some(total_s) = s.report.total_commits {
+            prop_assert_eq!(total_s, total);
+            let mut seen = vec![false; total_s as usize];
+            let lost_spans = s
+                .report
+                .lost
+                .iter()
+                .map(|l| (l.first, l.last.unwrap_or(total_s)));
+            let spans = s.report.recovered.iter().map(|r| (r.first, r.last));
+            for (first, last) in spans.chain(lost_spans) {
+                for g in first..=last {
+                    prop_assert!(
+                        !seen[(g - 1) as usize],
+                        "commit {g} counted twice across recovered + lost"
+                    );
+                    seen[(g - 1) as usize] = true;
+                }
+            }
+            prop_assert!(
+                seen.iter().all(|&m| m),
+                "some commit is neither recovered nor reported lost"
+            );
+        }
+
+        for (i, r) in s.regions.iter().enumerate() {
+            // The lost range each resume bridges is reported exactly.
+            if i > 0 {
+                let prev_last = s.regions[i - 1].range.last;
+                if r.range.first > prev_last + 1 {
+                    let g = s.gap_before(i).unwrap();
+                    prop_assert_eq!(g.first, prev_last + 1);
+                    prop_assert_eq!(g.last, Some(r.range.first - 1));
+                }
+            }
+            let boundary = r.range.first - 1;
+            match RecoveringSource::resume_from_index(&s, i, &index) {
+                Ok(src) => {
+                    let n = src.commits();
+                    prop_assert_eq!(n, r.range.last - r.range.first + 1);
+                    let insp = ReplayInspector::from_source(src).unwrap();
+                    let reached = step_exactly(insp, n);
+                    prop_assert!(
+                        reached == state_at(&recording, r.range.last),
+                        "checkpoint-resumed region {i} ({}) diverged from ground truth",
+                        r.range
+                    );
+                }
+                Err(msg) => {
+                    // A refusal is legitimate only when no checkpoint
+                    // survives exactly at the region boundary.
+                    prop_assert!(
+                        index.entries.iter().all(|e| e.gcc != boundary),
+                        "resume refused although a checkpoint survives at \
+                         commit {boundary}: {msg}"
                     );
                 }
             }
